@@ -1,0 +1,64 @@
+package drimann_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation,
+// regenerating the artifact at the small scale. `go test -bench=.` prints
+// each table once (first iteration) and reports the wall time of a full
+// regeneration.
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"drimann/internal/bench"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *bench.Runner
+)
+
+// sharedRunner caches datasets/indexes across benchmarks.
+func sharedRunner() *bench.Runner {
+	runnerOnce.Do(func() { runner = bench.NewRunner(bench.SmallScale()) })
+	return runner
+}
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		var out io.Writer = io.Discard
+		if i == 0 {
+			out = os.Stdout
+		}
+		t.Fprint(out)
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)      { benchExperiment(b, "T1") }
+func BenchmarkFigure2Roofline(b *testing.B)     { benchExperiment(b, "F2") }
+func BenchmarkFigure7SIFT(b *testing.B)         { benchExperiment(b, "F7") }
+func BenchmarkFigure8DEEP(b *testing.B)         { benchExperiment(b, "F8") }
+func BenchmarkFigure9Breakdown(b *testing.B)    { benchExperiment(b, "F9") }
+func BenchmarkFigure10Energy(b *testing.B)      { benchExperiment(b, "F10") }
+func BenchmarkFigure11aSQT(b *testing.B)        { benchExperiment(b, "F11a") }
+func BenchmarkFigure11bModelGap(b *testing.B)   { benchExperiment(b, "F11b") }
+func BenchmarkFigure12aAccuracy(b *testing.B)   { benchExperiment(b, "F12a") }
+func BenchmarkFigure12bBuffer(b *testing.B)     { benchExperiment(b, "F12b") }
+func BenchmarkFigure13LoadBalance(b *testing.B) { benchExperiment(b, "F13") }
+func BenchmarkFigure14aSplit(b *testing.B)      { benchExperiment(b, "F14a") }
+func BenchmarkFigure14bDup(b *testing.B)        { benchExperiment(b, "F14b") }
+func BenchmarkFigure15Scalability(b *testing.B) { benchExperiment(b, "F15") }
+func BenchmarkTable3MemANNS(b *testing.B)       { benchExperiment(b, "T3") }

@@ -1,0 +1,85 @@
+// Command drim-bench regenerates the tables and figures of the DRIM-ANN
+// paper's evaluation (§5) on the simulated UPMEM system.
+//
+// Usage:
+//
+//	drim-bench                  # run every experiment at the default scale
+//	drim-bench -exp F7,F9       # run selected experiments
+//	drim-bench -small           # test-suite scale (seconds)
+//	drim-bench -n 100000 -dpus 128 -queries 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drimann/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		small   = flag.Bool("small", false, "use the small (test-suite) scale")
+		n       = flag.Int("n", 0, "override base vectors per dataset")
+		queries = flag.Int("queries", 0, "override query count")
+		dpus    = flag.Int("dpus", 0, "override simulated DPU count")
+		seed    = flag.Int64("seed", 0, "override RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := bench.DefaultScale()
+	if *small {
+		scale = bench.SmallScale()
+	}
+	if *n > 0 {
+		scale.N = *n
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *dpus > 0 {
+		scale.NumDPUs = *dpus
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "drim-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("DRIM-ANN experiment harness: N=%d queries=%d DPUs=%d seed=%d\n\n",
+		scale.N, scale.Queries, scale.NumDPUs, scale.Seed)
+	runner := bench.NewRunner(scale)
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

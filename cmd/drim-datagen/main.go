@@ -1,0 +1,74 @@
+// Command drim-datagen writes synthetic DRIM-ANN corpora to disk in the
+// standard TEXMEX formats: .bvecs (base and query vectors) and .ivecs
+// (exact ground truth), so external tools can consume them.
+//
+// Usage:
+//
+//	drim-datagen -dataset SIFT -n 100000 -queries 1000 -out ./data/sift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drimann"
+	"drimann/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drim-datagen: ")
+	var (
+		dsName  = flag.String("dataset", "SIFT", "dataset shape: SIFT, DEEP, SPACEV, T2I")
+		n       = flag.Int("n", 100000, "base vectors")
+		queries = flag.Int("queries", 1000, "query vectors")
+		k       = flag.Int("k", 100, "ground-truth neighbors per query (0 to skip)")
+		out     = flag.String("out", "data", "output path prefix")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var s *drimann.Synth
+	switch *dsName {
+	case "SIFT":
+		s = drimann.SIFT(*n, *queries, *seed)
+	case "DEEP":
+		s = drimann.DEEP(*n, *queries, *seed)
+	case "SPACEV":
+		s = drimann.SPACEV(*n, *queries, *seed)
+	case "T2I":
+		s = drimann.T2I(*n, *queries, *seed)
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+
+	baseFile := *out + "_base.bvecs"
+	if err := dataset.SaveBvecsFile(baseFile, s.Base); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d x %d)\n", baseFile, s.Base.N, s.Base.D)
+
+	queryFile := *out + "_query.bvecs"
+	if err := dataset.SaveBvecsFile(queryFile, s.Queries); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d x %d)\n", queryFile, s.Queries.N, s.Queries.D)
+
+	if *k > 0 {
+		gt := dataset.GroundTruth(s.Base, s.Queries, *k, 0)
+		gtFile := *out + "_groundtruth.ivecs"
+		f, err := os.Create(gtFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dataset.WriteIvecs(f, gt); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (top-%d exact neighbors)\n", gtFile, *k)
+	}
+}

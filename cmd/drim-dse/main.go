@@ -1,0 +1,113 @@
+// Command drim-dse runs DRIM-ANN's Bayesian design space exploration
+// (paper §4.1) on a synthetic corpus: it searches (nprobe, nlist, M, CB)
+// for the configuration with the best model-predicted throughput subject to
+// a measured recall constraint.
+//
+// Usage:
+//
+//	drim-dse -dataset SIFT -n 50000 -accuracy 0.8 -budget 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drimann"
+	"drimann/internal/dse"
+	"drimann/internal/ivf"
+	"drimann/internal/perfmodel"
+	"drimann/internal/pq"
+	"drimann/internal/upmem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drim-dse: ")
+	var (
+		dsName   = flag.String("dataset", "SIFT", "synthetic dataset shape: SIFT, DEEP, SPACEV, T2I")
+		n        = flag.Int("n", 50000, "corpus size")
+		queries  = flag.Int("queries", 256, "queries used to measure recall")
+		accuracy = flag.Float64("accuracy", 0.8, "recall@k constraint")
+		k        = flag.Int("k", 10, "neighbors per query")
+		budget   = flag.Int("budget", 12, "expensive recall evaluations")
+		dpus     = flag.Int("dpus", 128, "modeled DPUs")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var s *drimann.Synth
+	switch *dsName {
+	case "SIFT":
+		s = drimann.SIFT(*n, *queries, *seed)
+	case "DEEP":
+		s = drimann.DEEP(*n, *queries, *seed)
+	case "SPACEV":
+		s = drimann.SPACEV(*n, *queries, *seed)
+	case "T2I":
+		s = drimann.T2I(*n, *queries, *seed)
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+	gt := drimann.GroundTruth(s.Base, s.Queries, *k, 0)
+
+	baseM := 16
+	for s.Base.D%baseM != 0 {
+		baseM /= 2
+	}
+	space := dse.Space{
+		P:     []int{8, 16, 32, 64},
+		NList: []int{*n / 256, *n / 64, *n / 16},
+		M:     []int{baseM, baseM * 2},
+		CB:    []int{64, 256},
+	}
+	host := perfmodel.FromPlatform(upmem.PlatformCPU())
+	pim := perfmodel.Hardware{
+		PE: float64(*dpus), FreqHz: 350e6 * 0.30, Lanes: 1,
+		BWBytes: float64(*dpus) * 0.7e9,
+	}
+
+	indexes := map[string]*ivf.Index{}
+	qpsFn := func(c dse.Candidate) (float64, error) {
+		avg := s.Base.N / c.NList
+		if avg < 1 {
+			avg = 1
+		}
+		p := perfmodel.Params{
+			N: int64(s.Base.N), Q: s.Queries.N, D: s.Base.D,
+			K: *k, P: c.P, C: avg, M: c.M, CB: c.CB,
+		}
+		return perfmodel.PredictQPS(p, host, pim, true)
+	}
+	evals := 0
+	recallFn := func(c dse.Candidate) (float64, error) {
+		key := fmt.Sprintf("%d/%d/%d", c.NList, c.M, c.CB)
+		ix := indexes[key]
+		if ix == nil {
+			var err error
+			ix, err = ivf.Build(s.Base, ivf.BuildConfig{
+				NList: c.NList, PQ: pq.Config{M: c.M, CB: c.CB}, Seed: *seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			indexes[key] = ix
+		}
+		got := ix.SearchIntBatch(s.Queries, c.P, *k, 0)
+		r := drimann.Recall(gt, got, *k)
+		evals++
+		fmt.Printf("  eval %2d: %-28s recall=%.3f\n", evals, c.String(), r)
+		return r, nil
+	}
+
+	fmt.Printf("exploring %d candidates with budget %d, recall@%d >= %.2f\n",
+		len(space.All()), *budget, *k, *accuracy)
+	res, err := dse.Optimize(space, qpsFn, recallFn, dse.Config{
+		AccuracyConstraint: *accuracy, Budget: *budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest: %s\n  model QPS = %.0f, measured recall = %.3f, feasible = %v\n",
+		res.Best.String(), res.BestQPS, res.BestRecall, res.Feasible)
+}

@@ -1,0 +1,99 @@
+// Command drim-model evaluates DRIM-ANN's analytic performance model
+// (paper §4, Equations 1-13) for a given index configuration and hardware:
+// per-phase compute/IO costs, compute-to-IO ratios, the suggested host/PIM
+// phase placement, and predicted QPS on the modeled platforms.
+//
+// Usage:
+//
+//	drim-model -n 100000000 -d 128 -nlist 16384 -nprobe 96 -m 16 -cb 256
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"drimann/internal/perfmodel"
+	"drimann/internal/upmem"
+)
+
+func main() {
+	var (
+		n      = flag.Int64("n", 100_000_000, "total vectors")
+		q      = flag.Int("q", 10000, "queries per batch")
+		d      = flag.Int("d", 128, "dimension")
+		k      = flag.Int("k", 10, "neighbors per query")
+		nlist  = flag.Int("nlist", 1<<14, "coarse clusters")
+		nprobe = flag.Int("nprobe", 96, "probed clusters per query")
+		m      = flag.Int("m", 16, "PQ subvectors")
+		cb     = flag.Int("cb", 256, "codebook entries")
+		dimms  = flag.Int("dimms", 32, "UPMEM DIMMs (80 DPUs each)")
+		sqt    = flag.Bool("sqt", true, "multiplier-less (SQT) LC kernel on the PIM")
+	)
+	flag.Parse()
+
+	c := int(*n) / *nlist
+	if c < 1 {
+		c = 1
+	}
+	p := perfmodel.Params{
+		N: *n, Q: *q, D: *d, K: *k, P: *nprobe, C: c, M: *m, CB: *cb,
+	}
+	mulCost := 32.0
+	if *sqt {
+		mulCost = 2.0
+	}
+	costs, err := perfmodel.Costs(p, mulCost)
+	if err != nil {
+		fmt.Println("drim-model:", err)
+		return
+	}
+
+	fmt.Printf("configuration: N=%d Q=%d D=%d K=%d nprobe=%d nlist=%d (C=%d) M=%d CB=%d sqt=%v\n\n",
+		*n, *q, *d, *k, *nprobe, *nlist, c, *m, *cb, *sqt)
+	fmt.Printf("%-6s  %14s  %14s  %10s\n", "phase", "compute (ops)", "IO (bytes)", "C2IO")
+	var totOps, totIO float64
+	for ph := upmem.Phase(0); ph < upmem.NumPhases; ph++ {
+		pc := costs[ph]
+		if pc.Compute == 0 && pc.IO == 0 {
+			continue
+		}
+		fmt.Printf("%-6s  %14.3e  %14.3e  %10.4f\n", ph, pc.Compute, pc.IO, pc.C2IO())
+		totOps += pc.Compute
+		totIO += pc.IO
+	}
+	fmt.Printf("%-6s  %14.3e  %14.3e  %10.4f  (arithmetic intensity)\n\n",
+		"total", totOps, totIO, perfmodel.ArithmeticIntensity(costs))
+
+	host := perfmodel.FromPlatform(upmem.PlatformCPU())
+	pim := perfmodel.FromPlatform(upmem.PlatformUPMEM(*dimms))
+	asg := perfmodel.SuggestAssignment(costs, host, pim)
+	fmt.Print("suggested placement (paper §4 C2IO rule): host = {")
+	first := true
+	for ph := upmem.Phase(0); ph < upmem.NumPhases; ph++ {
+		if asg.HostPhases[ph] {
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Print(ph)
+			first = false
+		}
+	}
+	fmt.Println("}, remainder on PIM")
+
+	batch := perfmodel.BatchTime(costs, host, pim, asg)
+	fmt.Printf("predicted batch time on UPMEM x%d DIMMs: %.3f ms -> %.0f QPS\n",
+		*dimms, batch*1e3, perfmodel.QPS(p, batch))
+
+	for _, plt := range []upmem.Platform{
+		upmem.PlatformCPU(), upmem.PlatformGPU(),
+		upmem.PlatformHBMPIM(), upmem.PlatformAiM(),
+	} {
+		hw := perfmodel.FromPlatform(plt)
+		t := perfmodel.BatchTime(costs, hw, hw, perfmodel.Assignment{})
+		note := ""
+		if !plt.Fits(perfmodel.DatasetBytes(p)) {
+			note = "  [dataset exceeds memory: OOM]"
+		}
+		fmt.Printf("  %-34s ideal %.0f QPS%s\n", plt.Name, perfmodel.QPS(p, t), note)
+	}
+}

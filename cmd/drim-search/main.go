@@ -1,0 +1,118 @@
+// Command drim-search builds a DRIM-ANN index over a corpus (a .bvecs file
+// or a generated synthetic dataset) and serves a query batch on the
+// simulated UPMEM system, reporting QPS, recall and the phase breakdown.
+//
+// Usage:
+//
+//	drim-search -dataset SIFT -n 100000 -queries 1000 -nlist 1024 -nprobe 32
+//	drim-search -base corpus.bvecs -query queries.bvecs -nlist 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drimann"
+	"drimann/internal/dataset"
+	"drimann/internal/upmem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drim-search: ")
+	var (
+		dsName  = flag.String("dataset", "SIFT", "synthetic dataset shape: SIFT, DEEP, SPACEV, T2I")
+		n       = flag.Int("n", 100000, "synthetic corpus size")
+		queries = flag.Int("queries", 1000, "synthetic query count")
+		baseF   = flag.String("base", "", "optional .bvecs corpus file (overrides -dataset)")
+		queryF  = flag.String("query", "", "optional .bvecs query file (with -base)")
+		nlist   = flag.Int("nlist", 1024, "number of coarse clusters")
+		m       = flag.Int("m", 16, "PQ subvectors")
+		cb      = flag.Int("cb", 256, "PQ codebook entries")
+		variant = flag.String("variant", "pq", "quantizer variant: pq, opq, dpq")
+		nprobe  = flag.Int("nprobe", 32, "clusters probed per query")
+		k       = flag.Int("k", 10, "neighbors per query")
+		dpus    = flag.Int("dpus", 128, "simulated DPUs")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		showGT  = flag.Bool("recall", true, "compute exact ground truth and recall (brute force)")
+	)
+	flag.Parse()
+
+	var base, qs drimann.Vectors
+	if *baseF != "" {
+		var err error
+		base, err = dataset.LoadBvecsFile(*baseF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *queryF == "" {
+			log.Fatal("-query is required with -base")
+		}
+		qs, err = dataset.LoadBvecsFile(*queryF)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var s *drimann.Synth
+		switch *dsName {
+		case "SIFT":
+			s = drimann.SIFT(*n, *queries, *seed)
+		case "DEEP":
+			s = drimann.DEEP(*n, *queries, *seed)
+		case "SPACEV":
+			s = drimann.SPACEV(*n, *queries, *seed)
+		case "T2I":
+			s = drimann.T2I(*n, *queries, *seed)
+		default:
+			log.Fatalf("unknown dataset %q", *dsName)
+		}
+		base, qs = s.Base, s.Queries
+	}
+	fmt.Printf("corpus: %d x %d, queries: %d\n", base.N, base.D, qs.N)
+
+	ix, err := drimann.Build(base, drimann.IndexOptions{
+		NList: *nlist, M: *m, CB: *cb, Variant: *variant, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: nlist=%d M=%d CB=%d variant=%s (avg cluster %.0f points)\n",
+		ix.NList, ix.M, ix.CB, *variant, ix.AvgListLen())
+
+	opts := drimann.DefaultEngineOptions()
+	opts.NumDPUs = *dpus
+	opts.NProbe = *nprobe
+	opts.K = *k
+	eng, err := drimann.NewEngine(ix, qs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.SearchBatch(qs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := res.Metrics
+	fmt.Printf("\nsimulated on %d DPUs: %.0f QPS (%.2f ms batch, %d launches, imbalance %.2f)\n",
+		*dpus, m2.QPS, m2.SimSeconds*1e3, m2.Launches, m2.AvgImbalance())
+	fmt.Printf("phase breakdown: ")
+	sh := m2.PhaseShare()
+	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+		if sh[p] > 0 {
+			fmt.Printf("%s %.1f%%  ", p, sh[p]*100)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("locks: %d acquired, %d pruned; LUT builds %d, reuses %d\n",
+		m2.LockAcquired, m2.LockSkipped, m2.LUTBuilds, m2.LUTReuses)
+
+	if *showGT {
+		gt := drimann.GroundTruth(base, qs, *k, 0)
+		fmt.Printf("recall@%d = %.4f\n", *k, drimann.Recall(gt, res.IDs, *k))
+	}
+	if len(res.IDs) > 0 {
+		fmt.Printf("query 0 neighbors: %v\n", res.IDs[0])
+	}
+	os.Exit(0)
+}

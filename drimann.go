@@ -1,0 +1,127 @@
+// Package drimann is a Go implementation of DRIM-ANN, the approximate
+// nearest neighbor search engine for commodity DRAM processing-in-memory
+// systems from "DRIM-ANN: An Approximate Nearest Neighbor Search Engine
+// based on Commercial DRAM-PIMs" (SC '25).
+//
+// The library contains the full system described by the paper:
+//
+//   - an IVF-PQ index (with OPQ and DPQ variants) over uint8 vector corpora;
+//   - a functional UPMEM DRAM-PIM simulator with the paper's cost model
+//     (no hardware multiplier, WRAM/MRAM hierarchy, host-transfer limits);
+//   - the DRIM-ANN engine: host-side cluster locating, DPU-side residual /
+//     LUT / distance / top-k kernels with the multiplier-less SQT
+//     conversion, WRAM buffering and lock pruning;
+//   - the load-balance optimizer (cluster partition, duplication,
+//     allocation) and the greedy runtime scheduler;
+//   - the analytic performance model (Equations 1-13) and the Bayesian
+//     design space exploration;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data
+//	ix, _ := drimann.Build(corpus.Base, drimann.IndexOptions{
+//		NList: 1024, M: 16, CB: 256,
+//	})
+//	eng, _ := drimann.NewEngine(ix, corpus.Queries, drimann.DefaultEngineOptions())
+//	res, _ := eng.SearchBatch(corpus.Queries)
+//	fmt.Println(res.Metrics.QPS, res.IDs[0])
+package drimann
+
+import (
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+// Vectors is a flat corpus of N uint8 vectors of dimension D.
+type Vectors = dataset.U8Set
+
+// FloatVectors is a flat float32 corpus (quantize with Quantize before
+// indexing).
+type FloatVectors = dataset.F32Set
+
+// Synth is a generated corpus with its query workload.
+type Synth = dataset.Synth
+
+// SynthConfig controls synthetic corpus generation.
+type SynthConfig = dataset.SynthConfig
+
+// Generate builds a synthetic clustered corpus (see SynthConfig).
+func Generate(cfg SynthConfig) *Synth { return dataset.Generate(cfg) }
+
+// SIFT generates a synthetic corpus with SIFT's shape (128-dim uint8).
+func SIFT(n, queries int, seed int64) *Synth { return dataset.SIFT(n, queries, seed) }
+
+// DEEP generates a synthetic corpus with DEEP's shape (96-dim).
+func DEEP(n, queries int, seed int64) *Synth { return dataset.DEEP(n, queries, seed) }
+
+// SPACEV generates a synthetic corpus with SPACEV's shape (100-dim).
+func SPACEV(n, queries int, seed int64) *Synth { return dataset.SPACEV(n, queries, seed) }
+
+// T2I generates a synthetic corpus with T2I's shape (200-dim).
+func T2I(n, queries int, seed int64) *Synth { return dataset.T2I(n, queries, seed) }
+
+// Index is a built IVF-PQ index.
+type Index = ivf.Index
+
+// IndexOptions configures index construction.
+type IndexOptions struct {
+	// NList is the number of coarse clusters (the paper's nlist).
+	NList int
+	// M is the number of PQ subvectors; must divide the dimension.
+	M int
+	// CB is the number of codebook entries per subspace (Faiss requires
+	// 256; DRIM-ANN supports 2..65536).
+	CB int
+	// Variant selects the quantizer family: "pq" (default), "opq" or "dpq".
+	Variant string
+	// TrainSample caps the vectors used for training; 0 = all.
+	TrainSample int
+	Seed        int64
+}
+
+// Build trains an IVF-PQ index over the corpus.
+func Build(base Vectors, opt IndexOptions) (*Index, error) {
+	return ivf.Build(base, ivf.BuildConfig{
+		NList:       opt.NList,
+		PQ:          pq.Config{M: opt.M, CB: opt.CB},
+		Variant:     opt.Variant,
+		TrainSample: opt.TrainSample,
+		Seed:        opt.Seed,
+	})
+}
+
+// Engine is a DRIM-ANN instance: an index deployed across a simulated
+// UPMEM DRAM-PIM system with the paper's layout and scheduling
+// optimizations.
+type Engine = core.Engine
+
+// EngineOptions configures the engine; see DefaultEngineOptions.
+type EngineOptions = core.Options
+
+// Result carries search results plus simulation metrics.
+type Result = core.Result
+
+// Metrics reports the simulated cost of a search.
+type Metrics = core.Metrics
+
+// DefaultEngineOptions enables every optimization the paper proposes.
+func DefaultEngineOptions() EngineOptions { return core.DefaultOptions() }
+
+// NewEngine deploys an index onto the simulated PIM system. The profile
+// workload (may be empty) drives the offline cluster-heat profiling used by
+// the layout optimizer.
+func NewEngine(ix *Index, profile Vectors, opts EngineOptions) (*Engine, error) {
+	return core.New(ix, profile, opts)
+}
+
+// GroundTruth computes exact top-k neighbors by parallel brute force.
+func GroundTruth(base, queries Vectors, k, workers int) [][]int32 {
+	return dataset.GroundTruth(base, queries, k, workers)
+}
+
+// Recall computes mean recall@k of got against the ground truth.
+func Recall(gt, got [][]int32, k int) float64 { return dataset.Recall(gt, got, k) }

@@ -1,0 +1,72 @@
+package drimann_test
+
+import (
+	"testing"
+
+	"drimann"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	corpus := drimann.Generate(drimann.SynthConfig{
+		N: 4000, D: 32, NumQueries: 32, NumClusters: 24, Seed: 5, Noise: 9,
+	})
+	ix, err := drimann.Build(corpus.Base, drimann.IndexOptions{
+		NList: 32, M: 8, CB: 64, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := drimann.DefaultEngineOptions()
+	opts.NumDPUs = 16
+	opts.NProbe = 8
+	eng, err := drimann.NewEngine(ix, corpus.Queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.SearchBatch(corpus.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.QPS <= 0 {
+		t.Fatalf("bad QPS: %+v", res.Metrics)
+	}
+	gt := drimann.GroundTruth(corpus.Base, corpus.Queries, 10, 0)
+	if r := drimann.Recall(gt, res.IDs, 10); r < 0.6 {
+		t.Fatalf("public API recall = %v, want >= 0.6", r)
+	}
+}
+
+func TestPublicAPIVariants(t *testing.T) {
+	corpus := drimann.Generate(drimann.SynthConfig{
+		N: 2500, D: 16, NumQueries: 8, NumClusters: 16, Seed: 7, Noise: 9,
+	})
+	for _, variant := range []string{"pq", "opq", "dpq"} {
+		ix, err := drimann.Build(corpus.Base, drimann.IndexOptions{
+			NList: 16, M: 4, CB: 32, Variant: variant, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if ix.NList != 16 {
+			t.Fatalf("%s: bad index", variant)
+		}
+	}
+}
+
+func TestPresetsShapes(t *testing.T) {
+	cases := map[string]struct {
+		s   *drimann.Synth
+		dim int
+	}{
+		"SIFT":   {drimann.SIFT(500, 4, 1), 128},
+		"DEEP":   {drimann.DEEP(500, 4, 1), 96},
+		"SPACEV": {drimann.SPACEV(500, 4, 1), 100},
+		"T2I":    {drimann.T2I(500, 4, 1), 200},
+	}
+	for name, c := range cases {
+		if c.s.Base.D != c.dim {
+			t.Fatalf("%s dim = %d, want %d", name, c.s.Base.D, c.dim)
+		}
+	}
+}

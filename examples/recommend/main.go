@@ -1,0 +1,76 @@
+// Recommendation-system scenario (the paper's motivating workload):
+// user-interest embeddings querying an item-embedding corpus with a heavily
+// skewed, trending-item query distribution. The example shows why load
+// balancing matters on a PIM system — the same engine is run with the
+// paper's layout/scheduling optimizations on and off, on the same skewed
+// workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drimann"
+)
+
+func main() {
+	// Item embeddings: 96-dim (DEEP-like), Zipf-popular items, and a query
+	// log dominated by a handful of trending interests (hotspots).
+	corpus := drimann.Generate(drimann.SynthConfig{
+		Name: "items", N: 60000, D: 96, NumQueries: 512,
+		NumClusters: 400, ZipfS: 1.6, QuerySkew: 0.9, Hotspots: 6,
+		Noise: 9, Seed: 7,
+	})
+	ix, err := drimann.Build(corpus.Base, drimann.IndexOptions{
+		NList: 512, M: 16, CB: 256, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, mutate func(*drimann.EngineOptions)) *drimann.Result {
+		opts := drimann.DefaultEngineOptions()
+		opts.NumDPUs = 96
+		opts.NProbe = 16
+		opts.K = 10
+		if mutate != nil {
+			mutate(&opts)
+		}
+		eng, err := drimann.NewEngine(ix, corpus.Queries, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.SearchBatch(corpus.Queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8.0f QPS   imbalance %.2f   postponed %d\n",
+			label, res.Metrics.QPS, res.Metrics.AvgImbalance(), res.Metrics.Postponed)
+		return res
+	}
+
+	fmt.Println("recommendation workload: 512 queries, 90% skewed to 6 trending interests")
+	balanced := run("with load balancing", nil)
+	naive := run("without load balancing", func(o *drimann.EngineOptions) {
+		o.EnableSplit = false
+		o.EnableDup = false
+		o.EnableBalance = false
+		o.Rebalance = false
+		o.Th3 = 0
+	})
+
+	fmt.Printf("\nload-balance speedup: %.2fx (paper: 4.8-6.2x at 2543-DPU scale)\n",
+		balanced.Metrics.QPS/naive.Metrics.QPS)
+
+	// Same answers either way — balancing only moves work, never changes it.
+	for qi := range balanced.IDs {
+		for j := range balanced.IDs[qi] {
+			if balanced.IDs[qi][j] != naive.IDs[qi][j] {
+				log.Fatalf("balancing changed results at query %d", qi)
+			}
+		}
+	}
+	fmt.Println("result sets identical across both configurations")
+	gt := drimann.GroundTruth(corpus.Base, corpus.Queries, 10, 0)
+	fmt.Printf("recall@10 = %.3f\n", drimann.Recall(gt, balanced.IDs, 10))
+}

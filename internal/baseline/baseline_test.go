@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+func testIndex(t *testing.T) (*ivf.Index, *dataset.Synth) {
+	t.Helper()
+	s := dataset.Generate(dataset.SynthConfig{
+		N: 3000, D: 16, NumQueries: 32, NumClusters: 16, Seed: 9, Noise: 10,
+	})
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList: 24, PQ: pq.Config{M: 8, CB: 64}, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, s
+}
+
+func TestCPUBaselineRun(t *testing.T) {
+	ix, s := testIndex(t)
+	b := NewCPU(ix)
+	gt := dataset.GroundTruth(s.Base, s.Queries, 10, 0)
+	m, got, err := b.Run(s.Queries, s.Base, 12, 10, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QPS <= 0 || m.Seconds <= 0 {
+		t.Fatalf("bad metrics %+v", m)
+	}
+	if m.Recall < 0.6 {
+		t.Fatalf("CPU baseline recall %v too low", m.Recall)
+	}
+	if len(got) != s.Queries.N {
+		t.Fatalf("got %d result lists", len(got))
+	}
+}
+
+func TestCPUModelQPSFallsWithNprobe(t *testing.T) {
+	ix, _ := testIndex(t)
+	b := NewCPU(ix)
+	prev := 1e18
+	for _, nprobe := range []int{8, 16, 32, 64} {
+		qps, err := b.ModelQPS(100_000_000, 1000, nprobe, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qps >= prev {
+			t.Fatalf("QPS should fall with nprobe: %v -> %v", prev, qps)
+		}
+		prev = qps
+	}
+}
+
+func TestGPUModelFasterThanCPU(t *testing.T) {
+	ix, _ := testIndex(t)
+	cpu := NewCPU(ix)
+	gpu := NewGPU(ix)
+	cq, err := cpu.ModelQPS(100_000_000, 1000, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq, err := gpu.ModelQPS(100_000_000, 1000, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := gq / cq
+	// The paper measures Faiss-GPU ~12.33x over Faiss-CPU on SIFT100M-class
+	// workloads; accept a generous band around that.
+	if ratio < 5 || ratio > 25 {
+		t.Fatalf("GPU/CPU QPS ratio %v outside plausible band [5,25]", ratio)
+	}
+}
+
+func TestGPUOOMOnBillionScale(t *testing.T) {
+	ix, _ := testIndex(t)
+	gpu := NewGPU(ix)
+	if _, err := gpu.ModelQPS(100_000_000, 1000, 32, 10); err != nil {
+		t.Fatalf("100M should fit: %v", err)
+	}
+	// This test index is 16-dim (24 B/vector encoded+raw), so OOM needs 4B
+	// vectors; the paper's 128-dim SIFT1B OOMs already at 1B.
+	_, err := gpu.ModelQPS(4_000_000_000, 1000, 32, 10)
+	if err == nil {
+		t.Fatal("4B 16-dim vectors must OOM on an 80GB A100")
+	}
+	var oom *ErrOOM
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected ErrOOM, got %T: %v", err, err)
+	}
+	if oom.NeedBytes <= oom.HaveBytes {
+		t.Fatalf("OOM error inconsistent: %+v", oom)
+	}
+}

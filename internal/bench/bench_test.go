@@ -1,0 +1,393 @@
+package bench
+
+// Shape tests: each experiment must regenerate rows whose *shape* matches
+// the paper — who wins, by roughly what factor, where crossovers fall.
+// Absolute values are simulator-scale, so all bands are deliberately loose.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	testRunnerOnce sync.Once
+	testRunner     *Runner
+	testTables     map[string]*Table
+	testErr        error
+)
+
+// tables runs every experiment once on a shared runner.
+func tables(t *testing.T) map[string]*Table {
+	t.Helper()
+	testRunnerOnce.Do(func() {
+		testRunner = NewRunner(SmallScale())
+		testTables = map[string]*Table{}
+		for _, e := range All() {
+			tab, err := e.Run(testRunner)
+			if err != nil {
+				testErr = err
+				return
+			}
+			testTables[e.ID] = tab
+		}
+	})
+	if testErr != nil {
+		t.Fatal(testErr)
+	}
+	return testTables
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSpace(tab.Rows[row][col])
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: cannot parse %q", tab.ID, row, col, s)
+	}
+	return v
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(ids))
+	}
+	if _, ok := ByID("f7"); !ok {
+		t.Fatal("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id should not resolve")
+	}
+}
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	for id, tab := range tables(t) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: ragged row %v", id, row)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab := tables(t)["T1"]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 1 must list 6 datasets, got %d", len(tab.Rows))
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tab := tables(t)["F2"]
+	// SIFT1B row: GPU x1 and UPMEM x16 OOM, CPU tiny, UPMEM x32 alive.
+	for _, row := range tab.Rows {
+		if row[0] == "SIFT1B" {
+			if !strings.Contains(row[3], "OOM") {
+				t.Fatalf("SIFT1B must OOM on one A100, got %q", row[3])
+			}
+			if strings.Contains(row[7], "OOM") {
+				t.Fatalf("SIFT1B must fit UPMEM x32, got %q", row[7])
+			}
+		}
+		if row[0] == "SIFT100M" {
+			cpu := mustFloat(t, row[2])
+			gpu := mustFloat(t, row[3])
+			u16 := mustFloat(t, row[5])
+			u32 := mustFloat(t, row[7])
+			if cpu >= gpu {
+				t.Fatal("CPU must be the slowest platform at ANNS intensity")
+			}
+			if u32 <= u16 {
+				t.Fatal("UPMEM must scale with DIMMs")
+			}
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q", s)
+	}
+	return v
+}
+
+func testEndToEndShape(t *testing.T, id string) {
+	tab := tables(t)[id]
+	if len(tab.Rows) != len(SmallScale().NProbes)+len(SmallScale().NLists) {
+		t.Fatalf("%s rows = %d", id, len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		speedup := cell(t, tab, i, 4)
+		if speedup < 1.0 || speedup > 5.0 {
+			t.Errorf("%s row %d: DRIM/CPU speedup %v outside [1, 5] (paper: 1.6-2.5)", id, i, speedup)
+		}
+		recall := cell(t, tab, i, 5)
+		if recall < 0.5 {
+			t.Errorf("%s row %d: recall %v too low", id, i, recall)
+		}
+	}
+	// QPS must fall as nprobe grows (both engines scan more clusters).
+	nprobes := len(SmallScale().NProbes)
+	for i := 1; i < nprobes; i++ {
+		if cell(t, tab, i, 3) > cell(t, tab, i-1, 3) {
+			t.Errorf("%s: DRIM QPS should fall with nprobe", id)
+		}
+	}
+	// Recall at the largest nlist configuration approaches the paper's 0.8
+	// constraint.
+	if r := cell(t, tab, len(tab.Rows)-1, 5); r < 0.7 {
+		t.Errorf("%s: final recall %v, want >= 0.7", id, r)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) { testEndToEndShape(t, "F7") }
+func TestFigure8Shape(t *testing.T) { testEndToEndShape(t, "F8") }
+
+func TestFigure9Shape(t *testing.T) {
+	tab := tables(t)["F9"]
+	nprobes := len(SmallScale().NProbes)
+	for i := range tab.Rows {
+		lc := cell(t, tab, i, 3)
+		dc := cell(t, tab, i, 4)
+		ts := cell(t, tab, i, 5)
+		if lc+dc < 0.7 {
+			t.Errorf("F9 row %d: LC+DC share %v should dominate", i, lc+dc)
+		}
+		if ts > 0.15 {
+			t.Errorf("F9 row %d: TS share %v too high (lock pruning should shrink it)", i, ts)
+		}
+	}
+	// DC share falls as nlist rises (the paper's bottleneck shift).
+	first := cell(t, tab, nprobes, 4)
+	last := cell(t, tab, len(tab.Rows)-1, 4)
+	if last > first {
+		t.Errorf("F9: DC share should fall with nlist: %v -> %v", first, last)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tab := tables(t)["F10"]
+	for i := range tab.Rows {
+		gain := cell(t, tab, i, 4)
+		if gain < 0.8 || gain > 3.0 {
+			t.Errorf("F10 row %d: energy gain %v outside [0.8, 3] (paper: 1.10-1.58)", i, gain)
+		}
+	}
+}
+
+func TestFigure11aShape(t *testing.T) {
+	tab := tables(t)["F11a"]
+	for i := range tab.Rows {
+		lc := cell(t, tab, i, 1)
+		overall := cell(t, tab, i, 2)
+		if lc < 1.3 || lc > 6 {
+			t.Errorf("F11a row %d: LC speedup %v outside [1.3, 6] (paper: ~1.93)", i, lc)
+		}
+		if overall > lc+0.05 {
+			t.Errorf("F11a row %d: overall speedup %v exceeds LC speedup %v", i, overall, lc)
+		}
+		if overall < 1 {
+			t.Errorf("F11a row %d: SQT should never slow the engine down (%v)", i, overall)
+		}
+	}
+}
+
+func TestFigure11bShape(t *testing.T) {
+	tab := tables(t)["F11b"]
+	for i := range tab.Rows {
+		ratio := cell(t, tab, i, 4)
+		if ratio <= 0.2 || ratio > 1.1 {
+			t.Errorf("F11b row %d: actual/model %v outside (0.2, 1.1] (paper: 0.72-1.0)", i, ratio)
+		}
+	}
+}
+
+func TestFigure12aShape(t *testing.T) {
+	tab := tables(t)["F12a"]
+	if len(tab.Rows) != 12 {
+		t.Fatalf("F12a rows = %d, want 12 (3 datasets x 4 targets)", len(tab.Rows))
+	}
+	// Within each dataset the normalized throughput must not increase as
+	// the accuracy floor tightens.
+	for ds := 0; ds < 3; ds++ {
+		for i := 1; i < 4; i++ {
+			prev := cell(t, tab, ds*4+i-1, 4)
+			cur := cell(t, tab, ds*4+i, 4)
+			if cur > prev*1.01 {
+				t.Errorf("F12a %s: throughput rose as the constraint tightened (%v -> %v)",
+					tab.Rows[ds*4][0], prev, cur)
+			}
+		}
+	}
+}
+
+func TestFigure12bShape(t *testing.T) {
+	tab := tables(t)["F12b"]
+	for i := range tab.Rows {
+		sp := cell(t, tab, i, 2)
+		if sp < 2.5 || sp > 6.5 {
+			t.Errorf("F12b row %d: WRAM speedup %v outside [2.5, 6.5] (paper: 3.86-4.30, bound 4.72)", i, sp)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	tab := tables(t)["F13"]
+	maxOverall := 0.0
+	for i := range tab.Rows {
+		overall := cell(t, tab, i, 2)
+		alloc := cell(t, tab, i, 3)
+		if overall < 0.95 {
+			t.Errorf("F13 row %d: overall speedup %v < 1", i, overall)
+		}
+		if alloc < 0.9 {
+			t.Errorf("F13 row %d: allocation speedup %v < 0.9", i, alloc)
+		}
+		if overall > maxOverall {
+			maxOverall = overall
+		}
+	}
+	if maxOverall < 1.8 {
+		t.Errorf("F13: peak overall speedup %v too small (paper: 4.84-6.19)", maxOverall)
+	}
+}
+
+func TestFigure14aShape(t *testing.T) {
+	tab := tables(t)["F14a"]
+	maxSp := 0.0
+	for i := range tab.Rows {
+		sp := cell(t, tab, i, 1)
+		if sp < 0.8 {
+			t.Errorf("F14a row %d: splitting should not badly hurt (%v)", i, sp)
+		}
+		if sp > maxSp {
+			maxSp = sp
+		}
+	}
+	if maxSp < 1.2 {
+		t.Errorf("F14a: best split speedup %v too small (paper: up to 3.35)", maxSp)
+	}
+	// The finest granularity must beat the coarsest.
+	if cell(t, tab, 0, 1) < cell(t, tab, len(tab.Rows)-1, 1) {
+		t.Error("F14a: finest slices should beat coarsest")
+	}
+}
+
+func TestFigure14bShape(t *testing.T) {
+	tab := tables(t)["F14b"]
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	peak := first
+	for i := range tab.Rows {
+		if v := cell(t, tab, i, 1); v > peak {
+			peak = v
+		}
+	}
+	if last < first*1.5 {
+		t.Errorf("F14b: duplication should pay off: %v -> %v", first, last)
+	}
+	if peak < 2.2 {
+		t.Errorf("F14b: peak duplication speedup %v too small", peak)
+	}
+	if last < peak*0.7 {
+		t.Errorf("F14b: speedup should saturate, not collapse: last %v vs peak %v", last, peak)
+	}
+	// Roughly monotone: scheduling noise allows small dips, never collapses.
+	for i := 1; i < len(tab.Rows); i++ {
+		if cell(t, tab, i, 1) < cell(t, tab, i-1, 1)*0.75 {
+			t.Errorf("F14b: speedup dipped too much at row %d", i)
+		}
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	tab := tables(t)["F15"]
+	for i := range tab.Rows {
+		upmemCPU := cell(t, tab, i, 1)
+		aimCPU := cell(t, tab, i, 3)
+		upmemGPU := cell(t, tab, i, 4)
+		hbmGPU := cell(t, tab, i, 5)
+		aimGPU := cell(t, tab, i, 6)
+		if upmemCPU < 0.9 || upmemCPU > 2.6 {
+			t.Errorf("F15 row %d: UPMEM/CPU %v outside [0.9, 2.6] (paper ~1.9)", i, upmemCPU)
+		}
+		if upmemGPU > 0.3 {
+			t.Errorf("F15 row %d: UPMEM/GPU %v should be far below 1 (paper ~0.16)", i, upmemGPU)
+		}
+		if hbmGPU < 0.6 || hbmGPU > 1.2 {
+			t.Errorf("F15 row %d: HBM-PIM/GPU %v outside [0.6, 1.2] (paper 0.76-1.00)", i, hbmGPU)
+		}
+		if aimGPU < 1.7 || aimGPU > 3.0 {
+			t.Errorf("F15 row %d: AiM/GPU %v outside [1.7, 3.0] (paper 2.09-2.67)", i, aimGPU)
+		}
+		if aimCPU < 20 || aimCPU > 40 {
+			t.Errorf("F15 row %d: AiM/CPU %v outside [20, 40] (paper 30.1-33.9)", i, aimCPU)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := tables(t)["T3"]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("T3 rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "405" {
+		t.Fatalf("MemANNS reported QPS must be cited as 405, got %q", tab.Rows[0][2])
+	}
+	noDSE := cell(t, tab, 1, 2)
+	withDSE := cell(t, tab, 2, 2)
+	if noDSE < 100 || noDSE > 900 {
+		t.Errorf("T3: no-DSE QPS %v outside [100, 900] (paper: 419)", noDSE)
+	}
+	if withDSE < noDSE*2.5 {
+		t.Errorf("T3: DSE should multiply throughput: %v vs %v (paper: 9.2x)", withDSE, noDSE)
+	}
+	if withDSE < 405 {
+		t.Errorf("T3: DRIM-ANN with DSE (%v) must beat MemANNS (405)", withDSE)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(SmallScale())
+	a := r.Dataset("SIFT")
+	b := r.Dataset("SIFT")
+	if a != b {
+		t.Fatal("datasets must be cached")
+	}
+	ixA, err := r.Index("SIFT", 32, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixB, err := r.Index("SIFT", 32, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixA != ixB {
+		t.Fatal("indexes must be cached")
+	}
+	gtA := r.GroundTruth("SIFT")
+	gtB := r.GroundTruth("SIFT")
+	if &gtA[0] != &gtB[0] {
+		t.Fatal("ground truth must be cached")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{ID: "X", Title: "test", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: test ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+var (
+	coreBenchOnce sync.Once
+	coreBenchIx   *ivf.Index
+	coreBenchData *dataset.Synth
+)
+
+func coreBenchFixture(b *testing.B) (*ivf.Index, *dataset.Synth) {
+	b.Helper()
+	coreBenchOnce.Do(func() {
+		coreBenchData = dataset.Generate(dataset.SynthConfig{
+			N: 20000, D: 64, NumQueries: 128, NumClusters: 64,
+			ZipfS: 1.5, QuerySkew: 0.9, Hotspots: 4, Noise: 9, Seed: 19,
+		})
+		ix, err := ivf.Build(coreBenchData.Base, ivf.BuildConfig{
+			NList: 128, PQ: pq.Config{M: 16, CB: 64}, Seed: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		coreBenchIx = ix
+	})
+	return coreBenchIx, coreBenchData
+}
+
+// BenchmarkEngineSearchBatch measures the wall-clock cost of simulating one
+// full DRIM-ANN batch (scheduling + functional kernels + accounting).
+func BenchmarkEngineSearchBatch(b *testing.B) {
+	ix, s := coreBenchFixture(b)
+	opts := DefaultOptions()
+	opts.NumDPUs = 32
+	opts.NProbe = 16
+	eng, err := New(ix, s.Queries, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchBatch(s.Queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBuild measures layout optimization + deployment cost.
+func BenchmarkEngineBuild(b *testing.B) {
+	ix, s := coreBenchFixture(b)
+	opts := DefaultOptions()
+	opts.NumDPUs = 32
+	opts.NProbe = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ix, s.Queries, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,813 @@
+// Package core is DRIM-ANN itself: the cluster-based ANNS engine that runs
+// IVF-PQ search across a simulated UPMEM DRAM-PIM system (paper §3).
+//
+// The host performs cluster locating (CL) and final top-k merging; the DPUs
+// perform residual calculation (RC), LUT construction (LC, multiplier-less
+// via SQT), distance calculation (DC) and top-k sorting (TS). Queries are
+// scheduled onto DPUs per batch by the greedy scheduler over a
+// load-balance-optimized data layout. Every kernel is executed functionally
+// (real answers) while charging cycle/DMA costs to the simulator, so both
+// recall and the performance phenomena are reproduced.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/layout"
+	"drimann/internal/sched"
+	"drimann/internal/sqt"
+	"drimann/internal/topk"
+	"drimann/internal/upmem"
+	"drimann/internal/vecmath"
+)
+
+// Options configures an Engine. DefaultOptions enables every optimization
+// the paper proposes; the ablation studies switch them off one at a time.
+type Options struct {
+	NumDPUs   int // default 64
+	Tasklets  int // default 16
+	K         int // neighbors per query; default 10
+	NProbe    int // located clusters per query; default 32
+	BatchSize int // queries per scheduling batch; default 256
+
+	// UseSQT selects the multiplier-less LC kernel (paper §3.1 / Fig 11a).
+	UseSQT bool
+	// SQT16 simulates the 16-bit quantization mode (paper §3.1): the full
+	// squaring table exceeds WRAM, so a hot window of small magnitudes stays
+	// in the scratchpad and cold lookups pay an MRAM access. Residual
+	// magnitudes concentrate near zero, so the hot window absorbs most
+	// lookups; the engine measures the actual hit rate. Requires UseSQT.
+	SQT16 bool
+	// SQT16HotEntries sizes the WRAM-resident window; default 8192 (32 KB).
+	SQT16HotEntries int
+	// UseWRAM enables the WRAM buffer optimization: hot data (SQT, LUT,
+	// staging, metadata) resides in the scratchpad (paper §3.2 / Fig 12b).
+	UseWRAM bool
+	// UseLockPruning forwards the current top-k bound to DC so tasklets skip
+	// the shared-heap lock for most points (paper §6).
+	UseLockPruning bool
+	// UseBitonicTS replaces the shared priority queue with a per-slice
+	// bitonic sorting network (the TS alternative in the paper's Figure 1):
+	// lock-free and data-independent, but O(n log^2 n) compare-exchanges.
+	// Results are identical; only the cost profile changes.
+	UseBitonicTS bool
+
+	// Layout toggles (paper §3.2 / Fig 13, 14).
+	EnableSplit    bool
+	EnableDup      bool
+	EnableBalance  bool
+	SplitThreshold int // 0 = automatic th1 search
+	CopyFootprint  int // extra bytes per DPU for duplicates; default 128 KiB
+
+	// Scheduling (paper §3.3).
+	Th3       float64 // overheat postponement threshold; default 1.3
+	Rebalance bool
+
+	// TreeCLBranch > 0 replaces the flat host-side centroid scan with a
+	// two-level k-means tree locator of that branching factor — the paper's
+	// §6 extension point for tree/graph cluster organizations. 0 keeps the
+	// flat IVF scan.
+	TreeCLBranch int
+	// TreeCLBeam is the number of upper nodes descended (0 = sqrt(branch)+1).
+	TreeCLBeam int
+
+	// LockCycles is the cost of one shared-heap lock acquisition.
+	LockCycles uint64 // default 24
+	// SQTAccessCycles is the per-lookup overhead of the squaring table
+	// beyond the load itself (address generation, load-use stalls, WRAM
+	// port pressure at 4-byte granularity) — the reason the paper's LC
+	// speedup is ~1.93x rather than the naive 32x.
+	SQTAccessCycles uint64 // default 8
+
+	// Hardware overrides (0 = upmem defaults); used by failure-injection
+	// tests and platform scaling studies.
+	WRAMBytes int
+	MRAMBytes int
+	ClockHz   float64
+	MulCycles uint64
+
+	// Host models the CPU running CL and merging (Xeon Silver 4216-like).
+	Host upmem.Platform
+
+	Workers int // goroutine parallelism for the simulation itself
+}
+
+// DefaultOptions returns the full DRIM-ANN configuration.
+func DefaultOptions() Options {
+	return Options{
+		NumDPUs:         64,
+		Tasklets:        16,
+		K:               10,
+		NProbe:          32,
+		BatchSize:       256,
+		UseSQT:          true,
+		UseWRAM:         true,
+		UseLockPruning:  true,
+		EnableSplit:     true,
+		EnableDup:       true,
+		EnableBalance:   true,
+		CopyFootprint:   128 << 10,
+		Th3:             1.3,
+		Rebalance:       true,
+		LockCycles:      24,
+		SQTAccessCycles: 8,
+		Host: upmem.Platform{
+			Name: "host (Xeon Silver 4216)", Threads: 32, FreqGHz: 2.1, VectorWidth: 8,
+			PeakGOPs: 538, MemBWGBs: 90, MemCapGB: 256,
+		},
+		Workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+func (o *Options) defaults() {
+	if o.NumDPUs <= 0 {
+		o.NumDPUs = 64
+	}
+	if o.Tasklets <= 0 {
+		o.Tasklets = 16
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.NProbe <= 0 {
+		o.NProbe = 32
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.CopyFootprint < 0 {
+		o.CopyFootprint = 0
+	}
+	if o.Th3 < 0 {
+		o.Th3 = 0
+	}
+	if o.LockCycles == 0 {
+		o.LockCycles = 24
+	}
+	if o.SQTAccessCycles == 0 {
+		o.SQTAccessCycles = 8
+	}
+	if o.Host.Threads == 0 {
+		o.Host = DefaultOptions().Host
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Engine is a DRIM-ANN instance bound to one index and one PIM system.
+type Engine struct {
+	ix   *ivf.Index
+	sys  *upmem.System
+	pl   *layout.Placement
+	opts Options
+
+	codeBytes  int  // packed bytes per PQ code
+	lutInWRAM  bool // LUT fits the scratchpad alongside mandatory buffers
+	lutBytes   int
+	metaPerDPU []int // slice-copy count per DPU (metadata footprint)
+
+	tree *ivf.TreeCL // non-nil when TreeCLBranch > 0
+	// sqt16 holds one tiered table per DPU (kernels run concurrently and
+	// the tables track per-DPU hit statistics); nil without Options.SQT16.
+	sqt16 []*sqt.SQT16
+}
+
+// Metrics reports the simulated cost of a SearchBatch call.
+type Metrics struct {
+	Queries     int
+	SimSeconds  float64 // end-to-end: sum over batches of max(host, PIM+xfer)
+	QPS         float64
+	HostSeconds float64 // host CL + merge (overlapped with PIM)
+	PIMSeconds  float64 // critical-path DPU time summed over launches
+	XferSeconds float64 // host<->PIM transfers + launch overhead
+
+	PhaseSeconds [upmem.NumPhases]float64 // per-phase critical path
+	Launches     int
+	Batches      int
+
+	ImbalanceSum float64 // summed per-launch max/mean (divide by Launches)
+	Postponed    int     // tasks deferred by overheat postponement
+
+	LockAcquired  uint64
+	LockSkipped   uint64
+	LUTBuilds     uint64
+	LUTReuses     uint64
+	PointsScanned uint64
+}
+
+// AvgImbalance returns the mean per-launch max/mean DPU load ratio.
+func (m *Metrics) AvgImbalance() float64 {
+	if m.Launches == 0 {
+		return 1
+	}
+	return m.ImbalanceSum / float64(m.Launches)
+}
+
+// PhaseShare returns each phase's fraction of total PIM time (Figure 9).
+func (m *Metrics) PhaseShare() [upmem.NumPhases]float64 {
+	var out [upmem.NumPhases]float64
+	var total float64
+	for _, s := range m.PhaseSeconds {
+		total += s
+	}
+	if total == 0 {
+		return out
+	}
+	for p, s := range m.PhaseSeconds {
+		out[p] = s / total
+	}
+	return out
+}
+
+// Result carries the neighbors plus the simulation metrics.
+type Result struct {
+	IDs     [][]int32
+	Items   [][]topk.Item[uint32]
+	Metrics Metrics
+}
+
+// New builds an engine: it sizes the PIM system, profiles cluster heat on
+// the provided profile queries (or falls back to cluster sizes), optimizes
+// the data layout, and checks that everything fits MRAM and WRAM.
+func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
+	opts.defaults()
+	cfg := upmem.DefaultConfig(opts.NumDPUs)
+	cfg.Tasklets = opts.Tasklets
+	if opts.WRAMBytes > 0 {
+		cfg.WRAMBytes = opts.WRAMBytes
+	}
+	if opts.MRAMBytes > 0 {
+		cfg.MRAMBytes = opts.MRAMBytes
+	}
+	if opts.ClockHz > 0 {
+		cfg.Cost.ClockHz = opts.ClockHz
+	}
+	if opts.MulCycles > 0 {
+		cfg.Cost.MulCycles = opts.MulCycles
+	}
+	sys, err := upmem.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{ix: ix, sys: sys, opts: opts, codeBytes: codeBytesFor(ix.CB, ix.M)}
+	if opts.TreeCLBranch > 0 {
+		tree, err := ix.BuildTreeCL(opts.TreeCLBranch, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: tree CL: %w", err)
+		}
+		e.tree = tree
+	}
+	if opts.SQT16 {
+		if !opts.UseSQT {
+			return nil, fmt.Errorf("core: SQT16 requires UseSQT")
+		}
+		hot := opts.SQT16HotEntries
+		if hot <= 0 {
+			hot = 8192
+		}
+		e.sqt16 = make([]*sqt.SQT16, opts.NumDPUs)
+		for i := range e.sqt16 {
+			e.sqt16[i] = sqt.NewSQT16(hot, sqt.MaxDiff8)
+		}
+	}
+
+	// Offline heat profile: probe frequency over the profile workload.
+	sizes := make([]int, ix.NList)
+	for c := range sizes {
+		sizes[c] = ix.ListLen(c)
+	}
+	freq := make([]float64, ix.NList)
+	if profile.N > 0 {
+		for qi := 0; qi < profile.N; qi++ {
+			for _, p := range ix.LocateInt(profile.Vec(qi), opts.NProbe) {
+				freq[p.ID]++
+			}
+		}
+	} else {
+		for c, s := range sizes {
+			freq[c] = float64(s)
+		}
+	}
+
+	// Reserve per-DPU MRAM for index-wide data before the layout divides the
+	// remainder: integer codebooks plus the full centroid table (for
+	// simplicity every DPU keeps all centroids, as the directory is small).
+	codebookBytes := ix.M * ix.CB * (ix.Dim / ix.M) * 2
+	centroidBytes := ix.NList * ix.Dim
+	fixed := codebookBytes + centroidBytes
+	dataBudget := cfg.MRAMBytes - fixed - opts.CopyFootprint
+	if dataBudget <= 0 {
+		return nil, fmt.Errorf("core: MRAM too small: %d fixed bytes vs %d bank", fixed, cfg.MRAMBytes)
+	}
+
+	lcfg := layout.Config{
+		NumDPUs:        opts.NumDPUs,
+		BytesPerPoint:  e.codeBytes + 4,
+		MRAMDataBudget: dataBudget,
+		CopyFootprint:  opts.CopyFootprint,
+		WRAMMetaBudget: cfg.WRAMBytes / 4,
+		HeatWeight:     0.5,
+		SplitThreshold: opts.SplitThreshold,
+		EnableSplit:    opts.EnableSplit,
+		EnableDup:      opts.EnableDup,
+		EnableBalance:  opts.EnableBalance,
+	}
+	pl, err := layout.Optimize(sizes, freq, lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	if err := pl.Validate(sizes); err != nil {
+		return nil, fmt.Errorf("core: layout invariants: %w", err)
+	}
+	e.pl = pl
+
+	// Account MRAM per DPU.
+	e.metaPerDPU = make([]int, opts.NumDPUs)
+	for _, d := range sys.DPUs {
+		if err := d.AllocMRAM(fixed); err != nil {
+			return nil, fmt.Errorf("core: fixed MRAM: %w", err)
+		}
+	}
+	for _, s := range pl.Slices {
+		bytes := s.Count * (e.codeBytes + 4)
+		for _, d := range s.DPUs {
+			if err := sys.DPUs[d].AllocMRAM(bytes); err != nil {
+				return nil, fmt.Errorf("core: slice data: %w", err)
+			}
+			e.metaPerDPU[d]++
+		}
+	}
+
+	// Account WRAM per DPU: staging buffers are always needed; with the
+	// buffer optimization also the SQT, slice metadata, and (if it fits)
+	// the distance LUT.
+	e.lutBytes = ix.M * ix.CB * 4
+	const stagingBytes = 4096
+	const sqtBytes = 511 * 4
+	e.lutInWRAM = false
+	if opts.UseWRAM {
+		e.lutInWRAM = true
+		for i, d := range sys.DPUs {
+			if err := d.AllocWRAM(stagingBytes + sqtBytes + e.metaPerDPU[i]*16); err != nil {
+				return nil, fmt.Errorf("core: WRAM: %w", err)
+			}
+			if d.WRAMFree() < e.lutBytes {
+				e.lutInWRAM = false
+			}
+		}
+		if e.lutInWRAM {
+			for _, d := range sys.DPUs {
+				if err := d.AllocWRAM(e.lutBytes); err != nil {
+					return nil, fmt.Errorf("core: WRAM LUT: %w", err)
+				}
+			}
+		}
+	} else {
+		for _, d := range sys.DPUs {
+			if err := d.AllocWRAM(stagingBytes); err != nil {
+				return nil, fmt.Errorf("core: WRAM staging: %w", err)
+			}
+		}
+	}
+	return e, nil
+}
+
+func codeBytesFor(cb, m int) int {
+	if cb <= 256 {
+		return m
+	}
+	return 2 * m
+}
+
+// SQT16HitRate reports the aggregate hot-window hit rate of the tiered
+// 16-bit squaring tables, or 1 when the mode is off (the paper's claim:
+// residual magnitudes concentrate, so the WRAM tier absorbs most lookups).
+func (e *Engine) SQT16HitRate() float64 {
+	if e.sqt16 == nil {
+		return 1
+	}
+	var hot, cold uint64
+	for _, t := range e.sqt16 {
+		s := t.Stats()
+		hot += s.Hot
+		cold += s.Cold
+	}
+	if hot+cold == 0 {
+		return 1
+	}
+	return float64(hot) / float64(hot+cold)
+}
+
+// Placement exposes the optimized layout (for inspection and tests).
+func (e *Engine) Placement() *layout.Placement { return e.pl }
+
+// System exposes the simulated PIM system.
+func (e *Engine) System() *upmem.System { return e.sys }
+
+// Index returns the underlying IVF-PQ index.
+func (e *Engine) Index() *ivf.Index { return e.ix }
+
+// taskCostCycles predicts DC+TS cycles for scanning n points — the
+// scheduler's heat estimate (Equations 8-11 restricted to the dominant
+// terms).
+func (e *Engine) taskCostCycles(n int) float64 {
+	m := float64(e.ix.M)
+	perPoint := 2*m + (m - 1) + 1 + float64(e.opts.LockCycles)/8
+	return float64(n) * perPoint
+}
+
+// hostCLSeconds models the host-side cluster locating cost for nq queries
+// (Equations 1-3 with the CPU's #PE, frequency and vector width). With the
+// tree locator, only branch + beam x children centroids are scanned.
+func (e *Engine) hostCLSeconds(nq int) float64 {
+	h := e.opts.Host
+	distOps := float64(3*e.ix.Dim - 1)
+	sortOps := float64(log2ceil(e.opts.NProbe) + 1)
+	scanned := float64(e.ix.NList)
+	if e.tree != nil {
+		scanned = float64(e.tree.CentroidsScanned(e.opts.TreeCLBeam))
+	}
+	ops := float64(nq) * scanned * (distOps + sortOps)
+	lanes := float64(h.Threads * h.VectorWidth)
+	return ops / (lanes * h.FreqGHz * 1e9)
+}
+
+// locate runs the configured CL variant for one query.
+func (e *Engine) locate(query []uint8) []topk.Item[uint32] {
+	if e.tree != nil {
+		return e.tree.Locate(e.ix, query, e.opts.NProbe, e.opts.TreeCLBeam)
+	}
+	return e.ix.LocateInt(query, e.opts.NProbe)
+}
+
+// hostMergeSeconds models merging per-DPU partial top-k lists on the host.
+func (e *Engine) hostMergeSeconds(items int) float64 {
+	h := e.opts.Host
+	ops := float64(items) * float64(log2ceil(e.opts.K)+1)
+	return ops / (float64(h.Threads) * h.FreqGHz * 1e9)
+}
+
+func log2ceil(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// SearchBatch searches every query and returns neighbors plus metrics.
+func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
+	if queries.D != e.ix.Dim {
+		return nil, fmt.Errorf("core: query dim %d != index dim %d", queries.D, e.ix.Dim)
+	}
+	res := &Result{
+		IDs:   make([][]int32, queries.N),
+		Items: make([][]topk.Item[uint32], queries.N),
+	}
+	m := &res.Metrics
+	m.Queries = queries.N
+
+	partials := make([][]topk.Item[uint32], queries.N)
+
+	var carried []sched.Task
+	scfg := sched.Config{
+		Cost:      func(points int) float64 { return e.taskCostCycles(points) },
+		Th3:       e.opts.Th3,
+		Rebalance: e.opts.Rebalance,
+	}
+
+	for lo := 0; lo < queries.N || len(carried) > 0; lo += e.opts.BatchSize {
+		hi := lo + e.opts.BatchSize
+		if hi > queries.N {
+			hi = queries.N
+		}
+		if hi < lo {
+			hi = lo // pure drain iteration past the last query batch
+		}
+		var reqs []sched.Request
+		if lo < queries.N {
+			for qi := lo; qi < hi; qi++ {
+				for _, p := range e.locate(queries.Vec(qi)) {
+					reqs = append(reqs, sched.Request{Query: int32(qi), Cluster: p.ID})
+				}
+			}
+		}
+		hostSec := e.hostCLSeconds(hi - lo)
+
+		lastBatch := hi >= queries.N
+		var pimPlusXfer float64
+		for {
+			batch := sched.Greedy(reqs, carried, e.pl, scfg)
+			reqs = nil
+			carried = batch.Postponed
+			m.Postponed += len(batch.Postponed)
+
+			launchSec, mergeItems := e.runLaunch(batch, queries, partials, m)
+			pimPlusXfer += launchSec
+			hostSec += e.hostMergeSeconds(mergeItems)
+
+			if !lastBatch || len(carried) == 0 {
+				break
+			}
+			// Final batch: drain postponed tasks with extra launches, but
+			// stop postponing once only carried work remains.
+			if len(carried) > 0 && scfg.Th3 > 0 {
+				scfg.Th3 = scfg.Th3 * 2
+			}
+		}
+		m.HostSeconds += hostSec
+		m.SimSeconds += math.Max(hostSec, pimPlusXfer)
+		m.Batches++
+		if hi == lo && len(carried) == 0 {
+			break
+		}
+	}
+
+	// Final per-query merge (already counted in host merge time above).
+	for qi := range partials {
+		items := partials[qi]
+		topk.SortItems(items)
+		if len(items) > e.opts.K {
+			items = items[:e.opts.K]
+		}
+		res.Items[qi] = items
+		ids := make([]int32, len(items))
+		for j, it := range items {
+			ids[j] = it.ID
+		}
+		res.IDs[qi] = ids
+	}
+	if m.SimSeconds > 0 {
+		m.QPS = float64(queries.N) / m.SimSeconds
+	}
+	return res, nil
+}
+
+// runLaunch executes one synchronous DPU launch and returns its wall time
+// max(PIM, transfer) and the number of partial items merged on the host.
+func (e *Engine) runLaunch(batch *sched.Batch, queries dataset.U8Set, partials [][]topk.Item[uint32], m *Metrics) (float64, int) {
+	e.sys.ResetCounters()
+	e.sys.Launch()
+
+	// Host -> DPU: each (query, DPU) pair ships the query vector once.
+	type qd struct {
+		q int32
+		d int
+	}
+	shipped := map[qd]bool{}
+	for d, tasks := range batch.PerDPU {
+		for _, t := range tasks {
+			shipped[qd{t.Query, d}] = true
+		}
+	}
+	e.sys.TransferToDPUs(uint64(len(shipped) * queries.D))
+
+	// Run every DPU's kernel in parallel (simulation-level parallelism).
+	results := make([]map[int32]*topk.Heap[uint32], e.opts.NumDPUs)
+	stats := make([]dpuRunStats, e.opts.NumDPUs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.opts.Workers)
+	for d := 0; d < e.opts.NumDPUs; d++ {
+		if len(batch.PerDPU[d]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(d int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[d], stats[d] = e.runDPU(d, batch.PerDPU[d], queries)
+		}(d)
+	}
+	wg.Wait()
+
+	mergeItems := 0
+	var fromDev uint64
+	for d := 0; d < e.opts.NumDPUs; d++ {
+		if results[d] == nil {
+			continue
+		}
+		// Deterministic merge order.
+		qids := make([]int32, 0, len(results[d]))
+		for q := range results[d] {
+			qids = append(qids, q)
+		}
+		sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+		for _, q := range qids {
+			items := results[d][q].Sorted()
+			partials[q] = append(partials[q], items...)
+			mergeItems += len(items)
+			fromDev += uint64(len(items) * 8)
+		}
+		m.LockAcquired += stats[d].lockAcquired
+		m.LockSkipped += stats[d].lockSkipped
+		m.LUTBuilds += stats[d].lutBuilds
+		m.LUTReuses += stats[d].lutReuses
+		m.PointsScanned += stats[d].points
+	}
+	e.sys.TransferFromDPUs(fromDev)
+
+	pimSec := e.sys.Cfg.Seconds(e.sys.MaxDPUCycles())
+	xferSec := e.sys.TransferSeconds()
+	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+		m.PhaseSeconds[p] += e.sys.Cfg.Seconds(e.sys.PhaseCyclesMax(p))
+	}
+	m.Launches++
+	m.XferSeconds += xferSec
+	m.PIMSeconds += pimSec
+	m.ImbalanceSum += e.sys.Imbalance()
+	return math.Max(pimSec, xferSec), mergeItems
+}
+
+type dpuRunStats struct {
+	lockAcquired, lockSkipped uint64
+	lutBuilds, lutReuses      uint64
+	points                    uint64
+}
+
+// runDPU executes the RC/LC/DC/TS kernels for one DPU's task list,
+// functionally and with cost charging. Tasks are grouped by (query, cluster)
+// so the residual and LUT are built once per group and reused across slices
+// of the same cluster on this DPU (the co-location payoff).
+func (e *Engine) runDPU(d int, tasks []sched.Task, queries dataset.U8Set) (map[int32]*topk.Heap[uint32], dpuRunStats) {
+	dpu := e.sys.DPUs[d]
+	ix := e.ix
+	var st dpuRunStats
+
+	sort.Slice(tasks, func(i, j int) bool {
+		a, b := tasks[i], tasks[j]
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		return pSliceStart(e, a.Slice) < pSliceStart(e, b.Slice)
+	})
+
+	heaps := make(map[int32]*topk.Heap[uint32])
+	residual := make([]int16, ix.Dim)
+	lut := make([]uint32, ix.M*ix.CB)
+
+	var curQ int32 = -1
+	var curC int32 = -1
+	for _, t := range tasks {
+		h := heaps[t.Query]
+		if h == nil {
+			h = topk.NewHeap[uint32](e.opts.K)
+			heaps[t.Query] = h
+		}
+		if t.Query != curQ || t.Cluster != curC {
+			curQ, curC = t.Query, t.Cluster
+			e.kernelRC(dpu, queries.Vec(int(t.Query)), int(t.Cluster), residual)
+			e.kernelLC(dpu, residual, lut)
+			st.lutBuilds++
+		} else {
+			st.lutReuses++
+		}
+		s := &e.pl.Slices[t.Slice]
+		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
+		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
+		e.kernelDCTS(dpu, lut, ids, codes, h, &st)
+	}
+	return heaps, st
+}
+
+func pSliceStart(e *Engine, slice int) int { return e.pl.Slices[slice].Start }
+
+// kernelRC computes the int16 residual between query and centroid (paper
+// Equations 4-5): D subtractions plus centroid DMA from MRAM.
+func (e *Engine) kernelRC(dpu *upmem.DPU, query []uint8, cluster int, residual []int16) {
+	ix := e.ix
+	vecmath.SubI16(residual, query, ix.CentroidU8(cluster))
+
+	n := uint64(ix.Dim)
+	dpu.Charge(upmem.PhaseRC, upmem.OpLoad, 2*n)
+	dpu.Charge(upmem.PhaseRC, upmem.OpAdd, n)
+	dpu.Charge(upmem.PhaseRC, upmem.OpStore, n)
+	dpu.DMA(upmem.PhaseRC, uint64(ix.Dim)) // centroid bytes (uint8)
+}
+
+// kernelLC builds the distance LUT (Equations 6-7). With UseSQT each square
+// is |a-b| + one table load; without it each square is a 32-cycle multiply.
+// The codebook streams from MRAM; LUT stores hit WRAM when buffered,
+// otherwise they become slow-path MRAM traffic.
+func (e *Engine) kernelLC(dpu *upmem.DPU, residual []int16, lut []uint32) {
+	ix := e.ix
+	if e.opts.UseSQT {
+		ix.IntCB.LUTInt(residual, lut, ix.SQT)
+	} else {
+		ix.IntCB.LUTIntMul(residual, lut)
+	}
+
+	elems := uint64(ix.CB * ix.Dim) // M * CB * dsub
+	entries := uint64(ix.M * ix.CB)
+	dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // subtraction per element
+	dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // accumulate per element
+	dpu.Charge(upmem.PhaseLC, upmem.OpLoad, elems) // codebook element loads
+	switch {
+	case e.opts.UseSQT && e.sqt16 != nil:
+		// Tiered 16-bit-mode table: replay the actual |diff| stream against
+		// the hot window; cold lookups pay an MRAM access each.
+		tab := e.sqt16[dpu.ID]
+		var cold uint64
+		for m := 0; m < ix.M; m++ {
+			sub := residual[m*(ix.Dim/ix.M) : (m+1)*(ix.Dim/ix.M)]
+			for c := 0; c < ix.CB; c++ {
+				entry := ix.IntCB.Entry(m, c)
+				for j, r := range sub {
+					if _, hot := tab.Square(int32(r) - int32(entry[j])); !hot {
+						cold++
+					}
+				}
+			}
+		}
+		dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // abs
+		dpu.Charge(upmem.PhaseLC, upmem.OpLoad, elems) // table lookup
+		dpu.ChargeCycles(upmem.PhaseLC, elems*e.opts.SQTAccessCycles)
+		dpu.RandomAccess(upmem.PhaseLC, cold) // cold tier lives in MRAM
+		if !e.opts.UseWRAM {
+			dpu.RandomAccess(upmem.PhaseLC, elems-cold)
+		}
+	case e.opts.UseSQT:
+		dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // abs
+		dpu.Charge(upmem.PhaseLC, upmem.OpLoad, elems) // SQT lookup
+		dpu.ChargeCycles(upmem.PhaseLC, elems*e.opts.SQTAccessCycles)
+		if !e.opts.UseWRAM {
+			dpu.RandomAccess(upmem.PhaseLC, elems) // SQT lives in MRAM without buffering
+		}
+	default:
+		dpu.Charge(upmem.PhaseLC, upmem.OpMul, elems)
+	}
+	dpu.Charge(upmem.PhaseLC, upmem.OpStore, entries) // LUT stores
+	dpu.DMA(upmem.PhaseLC, 2*elems)                   // codebook stream (int16)
+	if !e.lutInWRAM {
+		dpu.RandomAccess(upmem.PhaseLC, entries) // LUT spills to MRAM
+	}
+}
+
+// kernelDCTS scans one slice: per point M LUT gathers and M-1 adds (DC,
+// Equations 8-9), then the top-k update (TS, Equations 10-11) with the
+// shared-heap lock and optional lock pruning.
+func (e *Engine) kernelDCTS(dpu *upmem.DPU, lut []uint32, ids []int32, codes []uint16, h *topk.Heap[uint32], st *dpuRunStats) {
+	ix := e.ix
+	n := len(ids)
+	m := ix.M
+	logK := uint64(log2ceil(e.opts.K))
+
+	for i := 0; i < n; i++ {
+		dist := vecmath.ADCU32(lut, codes[i*m:(i+1)*m], ix.CB)
+		accept := h.WouldAccept(ids[i], dist)
+		switch {
+		case e.opts.UseBitonicTS:
+			// Lock-free network: no shared queue, costs charged in bulk
+			// below.
+		case e.opts.UseLockPruning:
+			if accept {
+				st.lockAcquired++
+				dpu.ChargeCycles(upmem.PhaseTS, e.opts.LockCycles)
+			} else {
+				st.lockSkipped++
+			}
+		default:
+			st.lockAcquired++
+			dpu.ChargeCycles(upmem.PhaseTS, e.opts.LockCycles)
+		}
+		if accept {
+			h.Push(ids[i], dist)
+			if !e.opts.UseBitonicTS {
+				dpu.Charge(upmem.PhaseTS, upmem.OpCmp, logK)
+				dpu.Charge(upmem.PhaseTS, upmem.OpStore, logK)
+			}
+		}
+	}
+	st.points += uint64(n)
+	if e.opts.UseBitonicTS && n > 1 {
+		// A bitonic network over the slice's candidates: size/2 compare-
+		// exchanges per column, log(size)*(log(size)+1)/2 columns.
+		size := uint64(1) << uint(log2ceil(n))
+		logSize := uint64(log2ceil(n))
+		swaps := size / 2 * logSize * (logSize + 1) / 2
+		dpu.Charge(upmem.PhaseTS, upmem.OpCmp, swaps)
+		dpu.Charge(upmem.PhaseTS, upmem.OpStore, swaps/2)
+	}
+
+	un := uint64(n)
+	um := uint64(m)
+	dpu.Charge(upmem.PhaseDC, upmem.OpLoad, un*um) // code element loads
+	dpu.Charge(upmem.PhaseDC, upmem.OpLoad, un*um) // LUT gathers
+	dpu.Charge(upmem.PhaseDC, upmem.OpAdd, un*(um-1))
+	dpu.Charge(upmem.PhaseTS, upmem.OpCmp, un)       // bound comparison per point
+	dpu.DMA(upmem.PhaseDC, un*uint64(e.codeBytes+4)) // codes + ids stream
+	if !e.opts.UseWRAM || !e.lutInWRAM {
+		dpu.RandomAccess(upmem.PhaseDC, un*um) // LUT gathers hit MRAM
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"drimann/internal/dataset"
+	"drimann/internal/upmem"
+)
+
+func TestSQT16ModeIdenticalResults(t *testing.T) {
+	f := getFixture(t)
+	o := testOptions()
+	o.SQT16 = true
+	e, err := New(f.ix, dataset.U8Set{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tiered table is lossless: results match the reference exactly.
+	for qi := 0; qi < f.s.Queries.N; qi++ {
+		want := f.ix.SearchInt(f.s.Queries.Vec(qi), o.NProbe, o.K)
+		for j := range want {
+			if res.Items[qi][j] != want[j] {
+				t.Fatalf("SQT16 changed results at query %d", qi)
+			}
+		}
+	}
+}
+
+func TestSQT16HotWindowAbsorbsMostLookups(t *testing.T) {
+	// The paper's premise for the tiered table: squaring operands are
+	// residual differences, concentrated near zero, so the WRAM window
+	// handles most cases.
+	f := getFixture(t)
+	o := testOptions()
+	o.SQT16 = true
+	o.SQT16HotEntries = 256 // a deliberately small window (1 KB)
+	e, err := New(f.ix, dataset.U8Set{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchBatch(f.s.Queries); err != nil {
+		t.Fatal(err)
+	}
+	if hr := e.SQT16HitRate(); hr < 0.5 {
+		t.Fatalf("hot-window hit rate %v too low even at 256 entries", hr)
+	}
+}
+
+func TestSQT16ColdTierCostsTime(t *testing.T) {
+	f := getFixture(t)
+	base := testOptions()
+	tiered := testOptions()
+	tiered.SQT16 = true
+	tiered.SQT16HotEntries = 16 // almost everything cold
+
+	eBase, err := New(f.ix, dataset.U8Set{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eTiered, err := New(f.ix, dataset.U8Set{}, tiered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := eBase.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTiered, err := eTiered.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcBase := rBase.Metrics.PhaseSeconds[upmem.PhaseLC]
+	lcTiered := rTiered.Metrics.PhaseSeconds[upmem.PhaseLC]
+	if lcTiered <= lcBase {
+		t.Fatalf("cold-tier lookups should slow LC: %v vs %v", lcTiered, lcBase)
+	}
+}
+
+func TestSQT16RequiresSQT(t *testing.T) {
+	f := getFixture(t)
+	o := testOptions()
+	o.SQT16 = true
+	o.UseSQT = false
+	if _, err := New(f.ix, dataset.U8Set{}, o); err == nil {
+		t.Fatal("SQT16 without UseSQT must fail")
+	}
+}

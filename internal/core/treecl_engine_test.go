@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"drimann/internal/dataset"
+)
+
+func TestEngineTreeCLMatchesTreeReference(t *testing.T) {
+	f := getFixture(t)
+	o := testOptions()
+	o.TreeCLBranch = 8
+	e, err := New(f.ix, dataset.U8Set{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.tree == nil {
+		t.Fatal("tree locator not built")
+	}
+	res, err := e.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the sequential integer scan with the *same* tree locator
+	// (the engine must only distribute the work, never change the probes).
+	tree, err := f.ix.BuildTreeCL(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < f.s.Queries.N; qi++ {
+		want := f.ix.SearchIntTree(tree, f.s.Queries.Vec(qi), o.NProbe, o.TreeCLBeam, o.K)
+		got := res.Items[qi]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d result %d: %+v != %+v", qi, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestEngineTreeCLReducesHostTime(t *testing.T) {
+	f := getFixture(t)
+	flat := testOptions()
+	tree := testOptions()
+	tree.TreeCLBranch = 8
+
+	eFlat, err := New(f.ix, dataset.U8Set{}, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eTree, err := New(f.ix, dataset.U8Set{}, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFlat, err := eFlat.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTree, err := eTree.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTree.Metrics.HostSeconds >= rFlat.Metrics.HostSeconds {
+		t.Fatalf("tree CL should cut host time: %v vs %v",
+			rTree.Metrics.HostSeconds, rFlat.Metrics.HostSeconds)
+	}
+	// Quality stays close.
+	gt := dataset.GroundTruth(f.s.Base, f.s.Queries, 10, 0)
+	rF := dataset.Recall(gt, rFlat.IDs, 10)
+	rT := dataset.Recall(gt, rTree.IDs, 10)
+	if rT < rF-0.1 {
+		t.Fatalf("tree CL recall %v too far below flat %v", rT, rF)
+	}
+}
+
+func TestEngineTreeCLBadBranch(t *testing.T) {
+	f := getFixture(t)
+	o := testOptions()
+	o.TreeCLBranch = 1
+	if _, err := New(f.ix, dataset.U8Set{}, o); err == nil {
+		t.Fatal("branch=1 must fail")
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"testing"
+
+	"drimann/internal/vecmath"
+)
+
+func TestHotspotQueriesConcentrate(t *testing.T) {
+	cfg := SynthConfig{
+		N: 4000, D: 16, NumQueries: 400, NumClusters: 32,
+		QuerySkew: 0.9, Hotspots: 3, Seed: 9,
+	}
+	s := Generate(cfg)
+
+	// Cluster queries by their nearest base vector's latent cluster; with 3
+	// hotspots and 90% skew, a few latent clusters should absorb most
+	// queries.
+	counts := map[int32]int{}
+	for qi := 0; qi < s.Queries.N; qi++ {
+		best, bestD := int32(-1), uint32(1<<31)
+		q := s.Queries.Vec(qi)
+		for i := 0; i < s.Base.N; i += 7 { // sampled scan is enough
+			d := vecmath.L2SquaredU8(q, s.Base.Vec(i))
+			if d < bestD {
+				best, bestD = s.ClusterOfBase[i], d
+			}
+		}
+		counts[best]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if float64(top)/float64(s.Queries.N) < 0.2 {
+		t.Fatalf("hotspot queries should concentrate: top cluster only %d/%d", top, s.Queries.N)
+	}
+}
+
+func TestHotspotsOffStillSkewed(t *testing.T) {
+	a := Generate(SynthConfig{N: 2000, D: 8, NumQueries: 100, Seed: 3, Hotspots: 0})
+	b := Generate(SynthConfig{N: 2000, D: 8, NumQueries: 100, Seed: 3, Hotspots: 5})
+	if a.Queries.N != b.Queries.N {
+		t.Fatal("query counts differ")
+	}
+	// Different query bytes: hotspots change the workload.
+	same := 0
+	for i := range a.Queries.Data {
+		if a.Queries.Data[i] == b.Queries.Data[i] {
+			same++
+		}
+	}
+	if same == len(a.Queries.Data) {
+		t.Fatal("hotspot flag had no effect on queries")
+	}
+}
+
+func TestIntrinsicDimAvoidsDistanceConcentration(t *testing.T) {
+	// Low-rank noise keeps the *mean* pairwise distance (per-dim variance is
+	// normalized) but widens its *relative spread*: full-rank 32-dim
+	// Gaussians suffer concentration of measure (all pairs nearly
+	// equidistant), which is what makes neighbor ranking unresolvable. The
+	// generator must avoid that.
+	full := Generate(SynthConfig{N: 1000, D: 32, NumQueries: 1, NumClusters: 2,
+		IntrinsicDim: 32, Seed: 5})
+	low := Generate(SynthConfig{N: 1000, D: 32, NumQueries: 1, NumClusters: 2,
+		IntrinsicDim: 2, Seed: 5})
+	relSpread := func(s *Synth) float64 {
+		var ids []int
+		for i, c := range s.ClusterOfBase {
+			if c == 0 && len(ids) < 50 {
+				ids = append(ids, i)
+			}
+		}
+		var sum, sum2 float64
+		n := 0
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				d := float64(vecmath.L2SquaredU8(s.Base.Vec(ids[i]), s.Base.Vec(ids[j])))
+				sum += d
+				sum2 += d * d
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		variance := sum2/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return variance / (mean * mean) // squared coefficient of variation
+	}
+	if relSpread(low) <= relSpread(full)*1.5 {
+		t.Fatalf("rank-2 noise should widen relative distance spread: %v vs %v",
+			relSpread(low), relSpread(full))
+	}
+}

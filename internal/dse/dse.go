@@ -1,0 +1,283 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Candidate is one point of the design space: an index configuration
+// (K is fixed by the application; the paper tunes it too, but recall@K with
+// varying K is not comparable across candidates).
+type Candidate struct {
+	P     int // nprobe
+	NList int // number of coarse clusters (determines C = N/NList)
+	M     int // subvectors
+	CB    int // codebook entries
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("P=%d nlist=%d M=%d CB=%d", c.P, c.NList, c.M, c.CB)
+}
+
+// Space is the candidate grid.
+type Space struct {
+	P     []int
+	NList []int
+	M     []int
+	CB    []int
+}
+
+// All enumerates the cartesian product.
+func (s Space) All() []Candidate {
+	var out []Candidate
+	for _, p := range s.P {
+		for _, nl := range s.NList {
+			for _, m := range s.M {
+				for _, cb := range s.CB {
+					out = append(out, Candidate{P: p, NList: nl, M: m, CB: cb})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// normalize maps a candidate into [0,1]^4 in log space for the GP.
+func (s Space) normalize(c Candidate) []float64 {
+	f := func(v int, grid []int) float64 {
+		lo, hi := math.Log(float64(grid[0])), math.Log(float64(grid[len(grid)-1]))
+		if hi <= lo {
+			return 0.5
+		}
+		return (math.Log(float64(v)) - lo) / (hi - lo)
+	}
+	return []float64{f(c.P, s.P), f(c.NList, s.NList), f(c.M, s.M), f(c.CB, s.CB)}
+}
+
+// Sample is one evaluated configuration.
+type Sample struct {
+	Cand   Candidate
+	QPS    float64
+	Recall float64
+}
+
+// Config controls the optimization.
+type Config struct {
+	// AccuracyConstraint is the recall floor (the paper uses recall@10 >= 0.8).
+	AccuracyConstraint float64
+	// Budget bounds the number of expensive recall measurements.
+	Budget int
+	// InitSamples seeds the surrogate; default 4 (or the whole space if
+	// smaller).
+	InitSamples int
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	Best       Candidate
+	BestQPS    float64
+	BestRecall float64
+	Feasible   bool
+	History    []Sample
+}
+
+// Optimize explores the space. qpsFn must be cheap and exact (the
+// performance model); recallFn is the expensive accuracy measurement.
+func Optimize(space Space, qpsFn func(Candidate) (float64, error),
+	recallFn func(Candidate) (float64, error), cfg Config) (*Result, error) {
+
+	cands := space.All()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("dse: empty design space")
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 16
+	}
+	if cfg.InitSamples <= 0 {
+		cfg.InitSamples = 4
+	}
+	if cfg.Budget > len(cands) {
+		cfg.Budget = len(cands)
+	}
+	if cfg.InitSamples > cfg.Budget {
+		cfg.InitSamples = cfg.Budget
+	}
+
+	qps := make([]float64, len(cands))
+	for i, c := range cands {
+		v, err := qpsFn(c)
+		if err != nil {
+			return nil, fmt.Errorf("dse: qps(%v): %w", c, err)
+		}
+		qps[i] = v
+	}
+
+	evaluated := make(map[int]bool)
+	var history []Sample
+	evaluate := func(i int) error {
+		r, err := recallFn(cands[i])
+		if err != nil {
+			return fmt.Errorf("dse: recall(%v): %w", cands[i], err)
+		}
+		evaluated[i] = true
+		history = append(history, Sample{Cand: cands[i], QPS: qps[i], Recall: r})
+		return nil
+	}
+
+	// Greedy seeds: the paper starts from a feasible-leaning configuration.
+	// Conservative (max accuracy-lean) + aggressive (max QPS) + spread.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qps[order[a]] > qps[order[b]] })
+	seeds := []int{
+		order[0],              // fastest
+		order[len(order)-1],   // most conservative
+		order[len(order)/2],   // middle
+		order[len(order)/4],   // fast-ish quartile
+		order[3*len(order)/4], // slow-ish quartile
+	}
+	for _, s := range seeds {
+		if len(history) >= cfg.InitSamples {
+			break
+		}
+		if evaluated[s] {
+			continue
+		}
+		if err := evaluate(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bayesian loop.
+	for len(history) < cfg.Budget {
+		gp := NewGP()
+		x := make([][]float64, len(history))
+		y := make([]float64, len(history))
+		var mean float64
+		for i, s := range history {
+			x[i] = space.normalize(s.Cand)
+			y[i] = s.Recall
+			mean += s.Recall
+		}
+		mean /= float64(len(history))
+		// Scale the prior to the observed recall spread so that the
+		// feasibility probability collapses quickly near known-bad regions.
+		var variance float64
+		for _, v := range y {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= float64(len(y))
+		gp.Signal = math.Max(math.Sqrt(variance), 0.05)
+		gp.Lengthscale = 0.5
+		if err := gp.Fit(x, y); err != nil {
+			return nil, err
+		}
+		front := paretoFront(history, cfg.AccuracyConstraint)
+
+		bestIdx, bestAcq := -1, -1.0
+		for i, c := range cands {
+			if evaluated[i] {
+				continue
+			}
+			mu, sigma := gp.Predict(space.normalize(c))
+			pFeasible := 1 - normCDF((cfg.AccuracyConstraint-mu)/sigma)
+			acq := pFeasible * ehvi(qps[i], mu, sigma, front, cfg.AccuracyConstraint)
+			if acq > bestAcq {
+				bestAcq, bestIdx = acq, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		if err := evaluate(bestIdx); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{History: history}
+	for _, s := range history {
+		if s.Recall >= cfg.AccuracyConstraint {
+			if !res.Feasible || s.QPS > res.BestQPS {
+				res.Best, res.BestQPS, res.BestRecall, res.Feasible = s.Cand, s.QPS, s.Recall, true
+			}
+		}
+	}
+	if !res.Feasible {
+		// No feasible point found: return the most accurate one seen.
+		for _, s := range history {
+			if s.Recall > res.BestRecall {
+				res.Best, res.BestQPS, res.BestRecall = s.Cand, s.QPS, s.Recall
+			}
+		}
+	}
+	return res, nil
+}
+
+// paretoFront extracts the non-dominated feasible (QPS, recall) samples.
+func paretoFront(history []Sample, constraint float64) []Sample {
+	var front []Sample
+	for _, s := range history {
+		if s.Recall < constraint {
+			continue
+		}
+		dominated := false
+		for _, o := range history {
+			if o.Recall >= constraint && o.QPS >= s.QPS && o.Recall >= s.Recall &&
+				(o.QPS > s.QPS || o.Recall > s.Recall) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, s)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].QPS > front[j].QPS })
+	return front
+}
+
+// hv2d computes the 2-D hypervolume of a front relative to the reference
+// point (0, refRecall); the front must be sorted by descending QPS.
+func hv2d(front []Sample, refRecall float64) float64 {
+	var hv float64
+	prevRecall := refRecall
+	for _, s := range front {
+		if s.Recall > prevRecall {
+			hv += s.QPS * (s.Recall - prevRecall)
+			prevRecall = s.Recall
+		}
+	}
+	return hv
+}
+
+// ehvi estimates the expected hypervolume improvement of a candidate whose
+// QPS is exact and whose recall is N(mu, sigma^2), by quadrature over seven
+// recall quantiles (a deterministic EHVI approximation, after Daulton et
+// al.'s differentiable EHVI, cited by the paper).
+func ehvi(qps, mu, sigma float64, front []Sample, refRecall float64) float64 {
+	quantiles := []struct{ z, w float64 }{
+		{-1.645, 0.05}, {-1.0, 0.15}, {-0.5, 0.2}, {0, 0.2}, {0.5, 0.2}, {1.0, 0.15}, {1.645, 0.05},
+	}
+	base := hv2d(front, refRecall)
+	var ev float64
+	for _, q := range quantiles {
+		r := mu + q.z*sigma
+		if r <= refRecall {
+			continue
+		}
+		if r > 1 {
+			r = 1
+		}
+		cand := Sample{QPS: qps, Recall: r}
+		merged := append(append([]Sample{}, front...), cand)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].QPS > merged[j].QPS })
+		improvement := hv2d(merged, refRecall) - base
+		if improvement > 0 {
+			ev += q.w * improvement
+		}
+	}
+	return ev
+}

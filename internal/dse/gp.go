@@ -1,0 +1,138 @@
+// Package dse implements DRIM-ANN's approximation design space exploration
+// (paper §4.1): a Bayesian optimizer over the index parameters (P, nlist,
+// M, CB) that maximizes model-predicted throughput subject to a measured
+// recall constraint. Throughput comes exactly from the performance model;
+// accuracy is expensive to measure, so it is modeled by a Gaussian process
+// with a Matérn 5/2 kernel, and candidates are picked by expected
+// hypervolume improvement (EHVI) on the (QPS, recall) front, weighted by
+// the probability of satisfying the accuracy constraint.
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"drimann/internal/mat"
+)
+
+// GP is a Gaussian-process regressor with a Matérn 5/2 kernel, used as the
+// accuracy surrogate.
+type GP struct {
+	Lengthscale float64 // kernel lengthscale in normalized input space
+	Signal      float64 // prior signal stddev
+	Noise       float64 // observation noise stddev
+
+	x     [][]float64
+	mean  float64
+	chol  *mat.Dense
+	alpha []float64
+}
+
+// NewGP returns a surrogate with sensible defaults for [0,1]^d inputs.
+func NewGP() *GP {
+	return &GP{Lengthscale: 0.35, Signal: 1.0, Noise: 0.02}
+}
+
+// matern52 evaluates the Matérn 5/2 correlation at distance r.
+func matern52(r, l float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	s := math.Sqrt(5) * r / l
+	return (1 + s + s*s/3) * math.Exp(-s)
+}
+
+func dist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Fit conditions the GP on observations (inputs must be normalized to
+// roughly [0,1]^d; outputs are internally centered).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("dse: GP.Fit needs equal-length non-empty x, y")
+	}
+	n := len(x)
+	g.x = x
+	g.mean = 0
+	for _, v := range y {
+		g.mean += v
+	}
+	g.mean /= float64(n)
+
+	k := mat.NewDense(n, n)
+	s2 := g.Signal * g.Signal
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := s2 * matern52(dist(x[i], x[j]), g.Lengthscale)
+			if i == j {
+				v += g.Noise * g.Noise
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := mat.Cholesky(k)
+	if err != nil {
+		return fmt.Errorf("dse: GP kernel not PD: %w", err)
+	}
+	g.chol = chol
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - g.mean
+	}
+	g.alpha = mat.SolveChol(chol, centered)
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x.
+func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	if g.chol == nil {
+		return g.mean, g.Signal
+	}
+	n := len(g.x)
+	ks := make([]float64, n)
+	s2 := g.Signal * g.Signal
+	for i := 0; i < n; i++ {
+		ks[i] = s2 * matern52(dist(x, g.x[i]), g.Lengthscale)
+	}
+	mu = g.mean
+	for i := 0; i < n; i++ {
+		mu += ks[i] * g.alpha[i]
+	}
+	// sigma^2 = k(x,x) - ksᵀ K⁻¹ ks via triangular solve: v = L⁻¹ ks.
+	v := forwardSolve(g.chol, ks)
+	var vv float64
+	for _, t := range v {
+		vv += t * t
+	}
+	s2x := s2 - vv
+	if s2x < 1e-12 {
+		s2x = 1e-12
+	}
+	return mu, math.Sqrt(s2x)
+}
+
+func forwardSolve(l *mat.Dense, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	return y
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

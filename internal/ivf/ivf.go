@@ -1,0 +1,371 @@
+// Package ivf implements the cluster-based (inverted file) index with
+// product quantization that both the CPU baseline and the DRIM-ANN PIM
+// engine consume: a coarse k-means quantizer over the corpus, per-cluster
+// inverted lists of PQ codes, and two search paths —
+//
+//   - Search: the float32 host path, structured like Faiss's IVFADC
+//     (cluster locating, residual, LUT construction, distance scan, top-k);
+//   - SearchInt: the integer path that is arithmetic-identical to the PIM
+//     kernels (uint8 centroids, int16 residuals, SQT-able LUTs, uint32
+//     accumulation), so engine results can be compared bit-for-bit.
+package ivf
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"drimann/internal/dataset"
+	"drimann/internal/kmeans"
+	"drimann/internal/pq"
+	"drimann/internal/sqt"
+	"drimann/internal/topk"
+	"drimann/internal/vecmath"
+)
+
+// BuildConfig controls index construction.
+type BuildConfig struct {
+	NList int // number of coarse clusters (the paper's nlist)
+	PQ    pq.Config
+	// Variant selects the quantizer family: "pq" (default), "opq", or "dpq".
+	Variant string
+	// KMeansIters bounds coarse-quantizer training; default 20.
+	KMeansIters int
+	// TrainSample caps vectors used for training both quantizers; 0 = all.
+	TrainSample int
+	Seed        int64
+	Workers     int
+}
+
+func (c *BuildConfig) defaults() {
+	if c.KMeansIters <= 0 {
+		c.KMeansIters = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Variant == "" {
+		c.Variant = "pq"
+	}
+}
+
+// Index is a built IVF-PQ index over a uint8 corpus.
+type Index struct {
+	Dim, NList int
+	M, CB      int
+
+	Centroids   []float32 // NList x Dim, float path
+	CentroidsU8 []uint8   // NList x Dim, integer path (rounded)
+
+	PQ    *pq.Quantizer
+	IntCB pq.IntCodebooks
+	OPQ   *pq.OPQ // non-nil for the "opq" variant
+
+	// Lists[c] holds the base-vector ids of cluster c; Codes[c] holds their
+	// PQ codes back-to-back (len(Lists[c]) * M entries).
+	Lists [][]int32
+	Codes [][]uint16
+
+	SQT *sqt.SQT8
+}
+
+// Build trains the coarse quantizer and PQ codebooks and encodes the corpus.
+func Build(base dataset.U8Set, cfg BuildConfig) (*Index, error) {
+	cfg.defaults()
+	if base.N == 0 {
+		return nil, fmt.Errorf("ivf: empty corpus")
+	}
+	if cfg.NList <= 0 || cfg.NList > base.N {
+		return nil, fmt.Errorf("ivf: NList=%d invalid for %d vectors", cfg.NList, base.N)
+	}
+	data := base.F32().Data
+
+	// Training sample: stride-sampled so it covers the whole corpus even
+	// when vectors are stored in clustered order (taking a prefix would
+	// train the quantizers on a single region).
+	trainIdx := make([]int, 0, base.N)
+	if cfg.TrainSample > 0 && cfg.TrainSample < base.N {
+		stride := base.N / cfg.TrainSample
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < base.N && len(trainIdx) < cfg.TrainSample; i += stride {
+			trainIdx = append(trainIdx, i)
+		}
+	} else {
+		for i := 0; i < base.N; i++ {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	train := make([]float32, 0, len(trainIdx)*base.D)
+	for _, i := range trainIdx {
+		train = append(train, data[i*base.D:(i+1)*base.D]...)
+	}
+
+	coarse, err := kmeans.Train(train, kmeans.Config{
+		K: cfg.NList, Dim: base.D, MaxIters: cfg.KMeansIters,
+		Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
+	}
+
+	ix := &Index{
+		Dim: base.D, NList: cfg.NList,
+		M: cfg.PQ.M, CB: cfg.PQ.CB,
+		Centroids: coarse.Centroids,
+		SQT:       sqt.NewSQT8(),
+	}
+	ix.CentroidsU8 = make([]uint8, len(coarse.Centroids))
+	for i, x := range coarse.Centroids {
+		v := math.Round(float64(x))
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		ix.CentroidsU8[i] = uint8(v)
+	}
+
+	// Assign every vector and compute training residuals on the sample.
+	assign, err := kmeans.Assign(data, ix.Centroids, base.D, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("ivf: assignment: %w", err)
+	}
+	residuals := make([]float32, len(train))
+	for si, i := range trainIdx {
+		c := int(assign[i])
+		vecmath.SubF32(residuals[si*base.D:(si+1)*base.D],
+			data[i*base.D:(i+1)*base.D],
+			ix.Centroids[c*base.D:(c+1)*base.D])
+	}
+
+	pcfg := cfg.PQ
+	if pcfg.Seed == 0 {
+		pcfg.Seed = cfg.Seed + 1000
+	}
+	switch cfg.Variant {
+	case "pq":
+		ix.PQ, err = pq.Train(residuals, base.D, pcfg)
+	case "opq":
+		var o *pq.OPQ
+		o, err = pq.TrainOPQ(residuals, base.D, pcfg, 3)
+		if err == nil {
+			ix.OPQ = o
+			ix.PQ = o.PQ
+		}
+	case "dpq":
+		ix.PQ, err = pq.TrainDPQ(residuals, base.D, pcfg, 6, 0.02)
+	default:
+		return nil, fmt.Errorf("ivf: unknown variant %q", cfg.Variant)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ivf: PQ training: %w", err)
+	}
+	ix.IntCB = ix.PQ.QuantizeCodebooks()
+
+	// Encode the full corpus per-cluster, in parallel over vectors.
+	ix.Lists = make([][]int32, cfg.NList)
+	ix.Codes = make([][]uint16, cfg.NList)
+	codes := make([]uint16, base.N*ix.M)
+	var wg sync.WaitGroup
+	chunk := (base.N + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > base.N {
+			hi = base.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			res := make([]float32, base.D)
+			resRot := res
+			for i := lo; i < hi; i++ {
+				c := int(assign[i])
+				vecmath.SubF32(res, data[i*base.D:(i+1)*base.D],
+					ix.Centroids[c*base.D:(c+1)*base.D])
+				if ix.OPQ != nil {
+					resRot = ix.OPQ.Rotate(res)
+				}
+				ix.PQ.Encode(resRot, codes[i*ix.M:(i+1)*ix.M])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < base.N; i++ {
+		c := int(assign[i])
+		ix.Lists[c] = append(ix.Lists[c], int32(i))
+		ix.Codes[c] = append(ix.Codes[c], codes[i*ix.M:(i+1)*ix.M]...)
+	}
+	return ix, nil
+}
+
+// Centroid returns float centroid c.
+func (ix *Index) Centroid(c int) []float32 { return ix.Centroids[c*ix.Dim : (c+1)*ix.Dim] }
+
+// CentroidU8 returns the integer-path centroid c.
+func (ix *Index) CentroidU8(c int) []uint8 { return ix.CentroidsU8[c*ix.Dim : (c+1)*ix.Dim] }
+
+// ListLen returns the population of cluster c.
+func (ix *Index) ListLen(c int) int { return len(ix.Lists[c]) }
+
+// AvgListLen returns the paper's parameter C (average cluster population).
+func (ix *Index) AvgListLen() float64 {
+	total := 0
+	for _, l := range ix.Lists {
+		total += len(l)
+	}
+	return float64(total) / float64(ix.NList)
+}
+
+// Locate performs the CL phase on the float path: the nprobe nearest
+// centroids to the query, in ascending distance order.
+func (ix *Index) Locate(query []float32, nprobe int) []topk.Item[float32] {
+	h := topk.NewHeap[float32](nprobe)
+	for c := 0; c < ix.NList; c++ {
+		d := vecmath.L2SquaredF32(query, ix.Centroid(c))
+		if h.WouldAccept(int32(c), d) {
+			h.Push(int32(c), d)
+		}
+	}
+	return h.Sorted()
+}
+
+// LocateInt performs the CL phase with integer arithmetic (uint8 centroids),
+// matching the PIM engine's host-side CL.
+func (ix *Index) LocateInt(query []uint8, nprobe int) []topk.Item[uint32] {
+	h := topk.NewHeap[uint32](nprobe)
+	for c := 0; c < ix.NList; c++ {
+		d := vecmath.L2SquaredU8(query, ix.CentroidU8(c))
+		if h.WouldAccept(int32(c), d) {
+			h.Push(int32(c), d)
+		}
+	}
+	return h.Sorted()
+}
+
+// Search runs the float path (Faiss-IVFADC-like) for one uint8 query.
+func (ix *Index) Search(query []uint8, nprobe, k int) []topk.Item[float32] {
+	qf := make([]float32, ix.Dim)
+	vecmath.U8ToF32(qf, query)
+	probes := ix.Locate(qf, nprobe)
+
+	res := make([]float32, ix.Dim)
+	lut := make([]float32, ix.M*ix.CB)
+	h := topk.NewHeap[float32](k)
+	for _, p := range probes {
+		c := int(p.ID)
+		vecmath.SubF32(res, qf, ix.Centroid(c)) // RC
+		lc := res
+		if ix.OPQ != nil {
+			lc = ix.OPQ.Rotate(res)
+		}
+		ix.PQ.LUT(lc, lut) // LC
+		ids := ix.Lists[c]
+		codes := ix.Codes[c]
+		for i, id := range ids { // DC + TS
+			d := vecmath.ADCF32(lut, codes[i*ix.M:(i+1)*ix.M], ix.CB)
+			if h.WouldAccept(id, d) {
+				h.Push(id, d)
+			}
+		}
+	}
+	return h.Sorted()
+}
+
+// SearchInt runs the integer path for one query: identical arithmetic to the
+// PIM kernels (CL on uint8 centroids, int16 residuals, SQT LUTs, uint32 ADC).
+func (ix *Index) SearchInt(query []uint8, nprobe, k int) []topk.Item[uint32] {
+	probes := ix.LocateInt(query, nprobe)
+	res := make([]int16, ix.Dim)
+	lut := make([]uint32, ix.M*ix.CB)
+	h := topk.NewHeap[uint32](k)
+	for _, p := range probes {
+		c := int(p.ID)
+		vecmath.SubI16(res, query, ix.CentroidU8(c)) // RC
+		ix.IntCB.LUTInt(res, lut, ix.SQT)            // LC (multiplier-less)
+		ids := ix.Lists[c]
+		codes := ix.Codes[c]
+		for i, id := range ids { // DC + TS
+			d := vecmath.ADCU32(lut, codes[i*ix.M:(i+1)*ix.M], ix.CB)
+			if h.WouldAccept(id, d) {
+				h.Push(id, d)
+			}
+		}
+	}
+	return h.Sorted()
+}
+
+// SearchBatch runs Search for a query set in parallel and returns id lists.
+func (ix *Index) SearchBatch(queries dataset.U8Set, nprobe, k, workers int) [][]int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]int32, queries.N)
+	var wg sync.WaitGroup
+	chunk := (queries.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > queries.N {
+			hi = queries.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for qi := lo; qi < hi; qi++ {
+				items := ix.Search(queries.Vec(qi), nprobe, k)
+				ids := make([]int32, len(items))
+				for j, it := range items {
+					ids[j] = it.ID
+				}
+				out[qi] = ids
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// SearchIntBatch runs SearchInt for a query set in parallel.
+func (ix *Index) SearchIntBatch(queries dataset.U8Set, nprobe, k, workers int) [][]int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]int32, queries.N)
+	var wg sync.WaitGroup
+	chunk := (queries.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > queries.N {
+			hi = queries.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for qi := lo; qi < hi; qi++ {
+				items := ix.SearchInt(queries.Vec(qi), nprobe, k)
+				ids := make([]int32, len(items))
+				for j, it := range items {
+					ids[j] = it.ID
+				}
+				out[qi] = ids
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,159 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"drimann/internal/mat"
+	"drimann/internal/pq"
+	"drimann/internal/sqt"
+)
+
+// Binary index format: a versioned header followed by the centroid tables,
+// codebooks and inverted lists, all little-endian. OPQ rotations are stored
+// when present. Intended for cmd/drim-search style offline build-once /
+// serve-many workflows.
+
+const (
+	indexMagic   = 0x44524d41 // "DRMA"
+	indexVersion = 1
+)
+
+// Save writes the index to w.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	head := []int32{
+		indexMagic, indexVersion,
+		int32(ix.Dim), int32(ix.NList), int32(ix.M), int32(ix.CB),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, head); err != nil {
+		return fmt.Errorf("ivf: save header: %w", err)
+	}
+	hasOPQ := int32(0)
+	if ix.OPQ != nil {
+		hasOPQ = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasOPQ); err != nil {
+		return fmt.Errorf("ivf: save flags: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.Centroids); err != nil {
+		return fmt.Errorf("ivf: save centroids: %w", err)
+	}
+	if _, err := bw.Write(ix.CentroidsU8); err != nil {
+		return fmt.Errorf("ivf: save u8 centroids: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.PQ.Codebooks); err != nil {
+		return fmt.Errorf("ivf: save codebooks: %w", err)
+	}
+	if ix.OPQ != nil {
+		if err := binary.Write(bw, binary.LittleEndian, ix.OPQ.R.Data); err != nil {
+			return fmt.Errorf("ivf: save rotation: %w", err)
+		}
+	}
+	for c := 0; c < ix.NList; c++ {
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(ix.Lists[c]))); err != nil {
+			return fmt.Errorf("ivf: save list %d len: %w", c, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ix.Lists[c]); err != nil {
+			return fmt.Errorf("ivf: save list %d ids: %w", c, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ix.Codes[c]); err != nil {
+			return fmt.Errorf("ivf: save list %d codes: %w", c, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]int32, 6)
+	if err := binary.Read(br, binary.LittleEndian, head); err != nil {
+		return nil, fmt.Errorf("ivf: load header: %w", err)
+	}
+	if head[0] != indexMagic {
+		return nil, fmt.Errorf("ivf: bad magic %#x", head[0])
+	}
+	if head[1] != indexVersion {
+		return nil, fmt.Errorf("ivf: unsupported version %d", head[1])
+	}
+	dim, nlist, m, cb := int(head[2]), int(head[3]), int(head[4]), int(head[5])
+	if dim <= 0 || nlist <= 0 || m <= 0 || cb <= 0 || dim%m != 0 {
+		return nil, fmt.Errorf("ivf: corrupt header %v", head)
+	}
+	var hasOPQ int32
+	if err := binary.Read(br, binary.LittleEndian, &hasOPQ); err != nil {
+		return nil, fmt.Errorf("ivf: load flags: %w", err)
+	}
+
+	ix := &Index{
+		Dim: dim, NList: nlist, M: m, CB: cb,
+		Centroids:   make([]float32, nlist*dim),
+		CentroidsU8: make([]uint8, nlist*dim),
+		PQ:          &pq.Quantizer{D: dim, M: m, CB: cb, DSub: dim / m, Codebooks: make([]float32, m*cb*(dim/m))},
+		SQT:         sqt.NewSQT8(),
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.Centroids); err != nil {
+		return nil, fmt.Errorf("ivf: load centroids: %w", err)
+	}
+	if _, err := io.ReadFull(br, ix.CentroidsU8); err != nil {
+		return nil, fmt.Errorf("ivf: load u8 centroids: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.PQ.Codebooks); err != nil {
+		return nil, fmt.Errorf("ivf: load codebooks: %w", err)
+	}
+	if hasOPQ == 1 {
+		rot := make([]float64, dim*dim)
+		if err := binary.Read(br, binary.LittleEndian, rot); err != nil {
+			return nil, fmt.Errorf("ivf: load rotation: %w", err)
+		}
+		ix.OPQ = &pq.OPQ{R: &mat.Dense{Rows: dim, Cols: dim, Data: rot}, PQ: ix.PQ}
+	}
+	ix.IntCB = ix.PQ.QuantizeCodebooks()
+	ix.Lists = make([][]int32, nlist)
+	ix.Codes = make([][]uint16, nlist)
+	for c := 0; c < nlist; c++ {
+		var n int32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("ivf: load list %d len: %w", c, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("ivf: corrupt list length %d", n)
+		}
+		ix.Lists[c] = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, ix.Lists[c]); err != nil {
+			return nil, fmt.Errorf("ivf: load list %d ids: %w", c, err)
+		}
+		ix.Codes[c] = make([]uint16, int(n)*m)
+		if err := binary.Read(br, binary.LittleEndian, ix.Codes[c]); err != nil {
+			return nil, fmt.Errorf("ivf: load list %d codes: %w", c, err)
+		}
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ivf: %w", err)
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from a file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ivf: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,100 @@
+package ivf
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix, s := smallIndex(t, "pq")
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim != ix.Dim || loaded.NList != ix.NList || loaded.M != ix.M || loaded.CB != ix.CB {
+		t.Fatalf("shape mismatch after load: %+v", loaded)
+	}
+	// Search results must be identical on both paths.
+	for qi := 0; qi < 8; qi++ {
+		want := ix.SearchInt(s.Queries.Vec(qi), 8, 5)
+		got := loaded.SearchInt(s.Queries.Vec(qi), 8, 5)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: loaded index diverges at %d: %v vs %v", qi, j, got[j], want[j])
+			}
+		}
+		wantF := ix.Search(s.Queries.Vec(qi), 8, 5)
+		gotF := loaded.Search(s.Queries.Vec(qi), 8, 5)
+		for j := range wantF {
+			if gotF[j].ID != wantF[j].ID {
+				t.Fatalf("query %d: float path diverges after load", qi)
+			}
+		}
+	}
+}
+
+func TestSaveLoadOPQ(t *testing.T) {
+	ix, s := smallIndex(t, "opq")
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.OPQ == nil {
+		t.Fatal("OPQ rotation lost in round trip")
+	}
+	want := ix.Search(s.Queries.Vec(0), 8, 5)
+	got := loaded.Search(s.Queries.Vec(0), 8, 5)
+	for j := range want {
+		if got[j].ID != want[j].ID {
+			t.Fatal("OPQ search diverges after load")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ix, _ := smallIndex(t, "pq")
+	path := filepath.Join(t.TempDir(), "index.drim")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NList != ix.NList {
+		t.Fatal("file round trip failed")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	// Wrong magic.
+	bad := make([]byte, 7*4)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// Valid header, truncated body.
+	ix, _ := smallIndex(t, "pq")
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+}

@@ -1,0 +1,94 @@
+package ivf
+
+import (
+	"testing"
+
+	"drimann/internal/dataset"
+)
+
+func TestBuildTreeCLValidation(t *testing.T) {
+	ix, _ := smallIndex(t, "pq")
+	if _, err := ix.BuildTreeCL(1, 1); err == nil {
+		t.Fatal("branch < 2 must fail")
+	}
+	if _, err := ix.BuildTreeCL(ix.NList, 1); err == nil {
+		t.Fatal("branch >= nlist must fail")
+	}
+}
+
+func TestTreeCLPartitionsClusters(t *testing.T) {
+	ix, _ := smallIndex(t, "pq")
+	tree, err := ix.BuildTreeCL(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, ch := range tree.Children {
+		for _, c := range ch {
+			if seen[c] {
+				t.Fatalf("cluster %d routed to two upper nodes", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != ix.NList {
+		t.Fatalf("tree covers %d clusters, want %d", len(seen), ix.NList)
+	}
+}
+
+func TestTreeCLScansFewerCentroids(t *testing.T) {
+	ix, _ := smallIndex(t, "pq")
+	tree, err := ix.BuildTreeCL(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned := tree.CentroidsScanned(0); scanned >= ix.NList {
+		t.Fatalf("tree CL should scan fewer than nlist=%d centroids, got %d", ix.NList, scanned)
+	}
+}
+
+func TestTreeCLRecallCloseToFlat(t *testing.T) {
+	ix, s := smallIndex(t, "pq")
+	tree, err := ix.BuildTreeCL(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, nprobe = 10, 16
+	gt := dataset.GroundTruth(s.Base, s.Queries, k, 0)
+
+	flat := ix.SearchIntBatch(s.Queries, nprobe, k, 0)
+	treeRes := make([][]int32, s.Queries.N)
+	for qi := 0; qi < s.Queries.N; qi++ {
+		items := ix.SearchIntTree(tree, s.Queries.Vec(qi), nprobe, 0, k)
+		ids := make([]int32, len(items))
+		for j, it := range items {
+			ids[j] = it.ID
+		}
+		treeRes[qi] = ids
+	}
+	rFlat := dataset.Recall(gt, flat, k)
+	rTree := dataset.Recall(gt, treeRes, k)
+	if rTree < rFlat-0.10 {
+		t.Fatalf("tree CL recall %v too far below flat CL %v", rTree, rFlat)
+	}
+}
+
+func TestTreeCLFullBeamMatchesFlat(t *testing.T) {
+	// With beam = branch the tree scans every child list, so the probe set
+	// and therefore the results must equal the flat locator's exactly.
+	ix, s := smallIndex(t, "pq")
+	tree, err := ix.BuildTreeCL(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, nprobe = 5, 12
+	for qi := 0; qi < 10; qi++ {
+		want := ix.SearchInt(s.Queries.Vec(qi), nprobe, k)
+		got := ix.SearchIntTree(tree, s.Queries.Vec(qi), nprobe, tree.Branch, k)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("full-beam tree CL diverges from flat at query %d", qi)
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package kmeans provides the clustering used to train both the IVF coarse
+// quantizer and the per-subspace PQ codebooks: k-means++ seeding followed by
+// Lloyd iterations with parallel assignment, optional mini-batch updates for
+// large corpora, and empty-cluster repair.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"drimann/internal/vecmath"
+)
+
+// Config controls training.
+type Config struct {
+	K        int   // number of centroids; required
+	Dim      int   // vector dimensionality; required
+	MaxIters int   // Lloyd iterations; default 25
+	Seed     int64 // RNG seed; default 1
+	// MiniBatch, when > 0, caps the number of points sampled per iteration.
+	// Zero uses the full dataset each iteration.
+	MiniBatch int
+	// Tol stops early when the relative inertia improvement falls below it;
+	// default 1e-4.
+	Tol float64
+	// Workers bounds assignment parallelism; default runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (c *Config) defaults() {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Result holds a trained clustering.
+type Result struct {
+	K, Dim    int
+	Centroids []float32 // flat K x Dim
+	Assign    []int32   // len N: cluster index per input point
+	Sizes     []int     // len K: points per cluster
+	Inertia   float64   // final sum of squared distances
+	Iters     int       // Lloyd iterations actually run
+}
+
+// Centroid returns centroid i as a slice view.
+func (r *Result) Centroid(i int) []float32 {
+	return r.Centroids[i*r.Dim : (i+1)*r.Dim]
+}
+
+// Train clusters the flat data (N x cfg.Dim) into cfg.K clusters.
+func Train(data []float32, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if cfg.Dim <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: invalid config K=%d Dim=%d", cfg.K, cfg.Dim)
+	}
+	if len(data)%cfg.Dim != 0 {
+		return nil, fmt.Errorf("kmeans: data length %d not a multiple of dim %d", len(data), cfg.Dim)
+	}
+	n := len(data) / cfg.Dim
+	if n < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d points < K=%d", n, cfg.K)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centroids := seedPlusPlus(data, n, cfg, rng)
+	assign := make([]int32, n)
+	prevInertia := math.Inf(1)
+	iters := 0
+
+	for it := 0; it < cfg.MaxIters; it++ {
+		iters = it + 1
+		sample := sampleIdx(n, cfg.MiniBatch, rng)
+		inertia := assignAll(data, centroids, assign, sample, cfg)
+		updateCentroids(data, centroids, assign, sample, cfg, rng)
+		if sample == nil { // exact inertia only meaningful on full passes
+			if prevInertia-inertia <= cfg.Tol*prevInertia {
+				break
+			}
+			prevInertia = inertia
+		}
+	}
+	// Final full assignment so Assign/Sizes reflect the returned centroids.
+	inertia := assignAll(data, centroids, assign, nil, cfg)
+
+	sizes := make([]int, cfg.K)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	return &Result{
+		K: cfg.K, Dim: cfg.Dim,
+		Centroids: centroids,
+		Assign:    assign,
+		Sizes:     sizes,
+		Inertia:   inertia,
+		Iters:     iters,
+	}, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(data []float32, n int, cfg Config, rng *rand.Rand) []float32 {
+	centroids := make([]float32, cfg.K*cfg.Dim)
+	first := rng.Intn(n)
+	copy(centroids[:cfg.Dim], data[first*cfg.Dim:(first+1)*cfg.Dim])
+
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = float64(vecmath.L2SquaredF32(data[i*cfg.Dim:(i+1)*cfg.Dim], centroids[:cfg.Dim]))
+	}
+	for c := 1; c < cfg.K; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with a centroid
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		dst := centroids[c*cfg.Dim : (c+1)*cfg.Dim]
+		copy(dst, data[pick*cfg.Dim:(pick+1)*cfg.Dim])
+		for i := 0; i < n; i++ {
+			d := float64(vecmath.L2SquaredF32(data[i*cfg.Dim:(i+1)*cfg.Dim], dst))
+			if d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// sampleIdx returns a mini-batch index set, or nil for a full pass.
+func sampleIdx(n, batch int, rng *rand.Rand) []int32 {
+	if batch <= 0 || batch >= n {
+		return nil
+	}
+	idx := make([]int32, batch)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(n))
+	}
+	return idx
+}
+
+// assignAll assigns points (all, or just the sample) to nearest centroids in
+// parallel and returns the summed squared distance over the points visited.
+func assignAll(data, centroids []float32, assign []int32, sample []int32, cfg Config) float64 {
+	n := len(assign)
+	indexAt := func(i int) int {
+		if sample == nil {
+			return i
+		}
+		return int(sample[i])
+	}
+	count := n
+	if sample != nil {
+		count = len(sample)
+	}
+
+	workers := cfg.Workers
+	if workers > count {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	partial := make([]float64, workers)
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var acc float64
+			for i := lo; i < hi; i++ {
+				p := indexAt(i)
+				best, d := vecmath.ArgMinL2F32(data[p*cfg.Dim:(p+1)*cfg.Dim], centroids, cfg.Dim)
+				assign[p] = int32(best)
+				acc += float64(d)
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var inertia float64
+	for _, p := range partial {
+		inertia += p
+	}
+	return inertia
+}
+
+// updateCentroids recomputes centroids as the mean of their members (over the
+// sample when mini-batching) and repairs empty clusters by re-seeding them on
+// the point farthest from its centroid.
+func updateCentroids(data, centroids []float32, assign []int32, sample []int32, cfg Config, rng *rand.Rand) {
+	sums := make([]float64, cfg.K*cfg.Dim)
+	counts := make([]int, cfg.K)
+	visit := func(p int) {
+		c := int(assign[p])
+		row := data[p*cfg.Dim : (p+1)*cfg.Dim]
+		dst := sums[c*cfg.Dim : (c+1)*cfg.Dim]
+		for j, x := range row {
+			dst[j] += float64(x)
+		}
+		counts[c]++
+	}
+	if sample == nil {
+		for p := 0; p < len(assign); p++ {
+			visit(p)
+		}
+	} else {
+		for _, p := range sample {
+			visit(int(p))
+		}
+	}
+	for c := 0; c < cfg.K; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		dst := centroids[c*cfg.Dim : (c+1)*cfg.Dim]
+		src := sums[c*cfg.Dim : (c+1)*cfg.Dim]
+		for j := range dst {
+			dst[j] = float32(src[j] * inv)
+		}
+	}
+	// Empty-cluster repair: re-seed on the member farthest from its centroid
+	// within the currently largest cluster.
+	for c := 0; c < cfg.K; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		big := 0
+		for k := range counts {
+			if counts[k] > counts[big] {
+				big = k
+			}
+		}
+		worst, worstD := -1, float32(-1)
+		limit := len(assign)
+		for p := 0; p < limit; p++ {
+			if int(assign[p]) != big {
+				continue
+			}
+			d := vecmath.L2SquaredF32(data[p*cfg.Dim:(p+1)*cfg.Dim], centroids[big*cfg.Dim:(big+1)*cfg.Dim])
+			if d > worstD {
+				worst, worstD = p, d
+			}
+		}
+		if worst < 0 {
+			worst = rng.Intn(len(assign))
+		}
+		copy(centroids[c*cfg.Dim:(c+1)*cfg.Dim], data[worst*cfg.Dim:(worst+1)*cfg.Dim])
+		assign[worst] = int32(c)
+		counts[c]++
+		counts[big]--
+	}
+}
+
+// Assign maps each row of flat data (N x dim) to its nearest centroid, in
+// parallel. It returns one cluster index per row.
+func Assign(data, centroids []float32, dim, workers int) ([]int32, error) {
+	if dim <= 0 || len(data)%dim != 0 || len(centroids)%dim != 0 {
+		return nil, errors.New("kmeans: bad shapes in Assign")
+	}
+	assign := make([]int32, len(data)/dim)
+	cfg := Config{Dim: dim, Workers: workers}
+	cfg.defaults()
+	assignAll(data, centroids, assign, nil, cfg)
+	return assign, nil
+}

@@ -1,0 +1,555 @@
+// Package layout implements DRIM-ANN's data layout optimization (paper
+// §3.2): the three-phase strategy that fights load imbalance on thousands of
+// DPUs with no inter-DPU communication fabric.
+//
+//  1. Cluster partition — clusters larger than a threshold th1 are split
+//     into equal-capacity slices so one hot cluster can spread over several
+//     DPUs. th1 is found by an iterative search with a dynamic learning
+//     rate, trading the extra per-slice indexing overhead against balance,
+//     under the constraint that slice metadata fits in WRAM.
+//  2. Cluster duplication — hot clusters get extra copies (all slices of a
+//     cluster are duplicated the same number of times), proportional to
+//     heat and inversely proportional to slice count, until the configured
+//     extra MRAM footprint is exhausted.
+//  3. Cluster allocation — slice copies go to the coldest DPU that can hold
+//     them (greedy), followed by exchange passes that co-locate slices of
+//     the same cluster for RC/LC/TS data reuse while keeping the heat
+//     balance within tolerance.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config controls the optimizer.
+type Config struct {
+	NumDPUs       int
+	BytesPerPoint int // PQ code bytes + id bytes per point
+
+	// MRAMDataBudget is the per-DPU byte budget for primary slice data.
+	MRAMDataBudget int
+	// CopyFootprint is the extra per-DPU byte budget for duplicate copies
+	// (the paper's Figure 14(b) x-axis). 0 disables duplication.
+	CopyFootprint int
+
+	// WRAMMetaBudget bounds per-DPU slice metadata (constrains th1).
+	WRAMMetaBudget int
+	// MetaBytesPerSlice is the metadata footprint of one slice; default 16.
+	MetaBytesPerSlice int
+
+	// HeatWeight w blends cluster size and profiled frequency into heat:
+	// heat = w*sizeNorm + (1-w)*freqNorm. Default 0.5.
+	HeatWeight float64
+
+	// SplitThreshold forces th1 (Figure 14(a) x-axis); 0 = automatic search.
+	SplitThreshold int
+
+	// Phase toggles for the paper's ablations (Figure 13).
+	EnableSplit   bool
+	EnableDup     bool
+	EnableBalance bool // false = naive round-robin allocation by cluster id
+
+	// DMALatencyCycles and PointCycles parameterize the th1 objective:
+	// per-slice fixed access overhead and per-point scan cost.
+	DMALatencyCycles float64
+	PointCycles      float64
+}
+
+func (c *Config) defaults() error {
+	if c.NumDPUs <= 0 {
+		return fmt.Errorf("layout: NumDPUs must be positive")
+	}
+	if c.BytesPerPoint <= 0 {
+		return fmt.Errorf("layout: BytesPerPoint must be positive")
+	}
+	if c.MetaBytesPerSlice <= 0 {
+		c.MetaBytesPerSlice = 16
+	}
+	if c.WRAMMetaBudget <= 0 {
+		c.WRAMMetaBudget = 16 * 1024
+	}
+	if c.HeatWeight <= 0 || c.HeatWeight > 1 {
+		c.HeatWeight = 0.5
+	}
+	if c.DMALatencyCycles <= 0 {
+		c.DMALatencyCycles = 77
+	}
+	if c.PointCycles <= 0 {
+		c.PointCycles = 16
+	}
+	if c.MRAMDataBudget <= 0 {
+		c.MRAMDataBudget = 64 * 1024 * 1024
+	}
+	return nil
+}
+
+// Slice is one partition of a cluster. Start/Count index into the cluster's
+// inverted list; DPUs lists the devices holding a copy (len >= 1 after
+// allocation).
+type Slice struct {
+	ID      int
+	Cluster int32
+	Start   int
+	Count   int
+	Heat    float64 // per-copy heat share of this slice
+	DPUs    []int
+}
+
+// Placement is the optimizer's output.
+type Placement struct {
+	NumDPUs int
+	Th1     int
+	Slices  []Slice
+	// ByCluster maps cluster id -> indices into Slices.
+	ByCluster [][]int
+	// DPUHeat and DPUBytes are the post-allocation per-DPU loads.
+	DPUHeat  []float64
+	DPUBytes []int
+	// ClusterHeat is the blended heat used for decisions (exported for the
+	// scheduler and for tests).
+	ClusterHeat []float64
+	// Copies per cluster (>= 1).
+	Copies []int
+}
+
+// Optimize runs partition, duplication, and allocation for clusters with the
+// given sizes (points per cluster) and profiled access frequencies
+// (normalized or raw; only relative values matter).
+func Optimize(sizes []int, freq []float64, cfg Config) (*Placement, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := len(sizes)
+	if n == 0 {
+		return nil, fmt.Errorf("layout: no clusters")
+	}
+	if len(freq) != n {
+		return nil, fmt.Errorf("layout: freq length %d != clusters %d", len(freq), n)
+	}
+
+	heat := blendHeat(sizes, freq, cfg.HeatWeight)
+
+	// Phase 1: partition.
+	th1 := cfg.SplitThreshold
+	if !cfg.EnableSplit {
+		th1 = math.MaxInt
+	} else if th1 <= 0 {
+		th1 = searchTh1(sizes, freq, cfg)
+	}
+	pl := &Placement{
+		NumDPUs:     cfg.NumDPUs,
+		Th1:         th1,
+		ByCluster:   make([][]int, n),
+		DPUHeat:     make([]float64, cfg.NumDPUs),
+		DPUBytes:    make([]int, cfg.NumDPUs),
+		ClusterHeat: heat,
+		Copies:      make([]int, n),
+	}
+	for c, size := range sizes {
+		nSlices := 1
+		if size > th1 {
+			nSlices = (size + th1 - 1) / th1
+		}
+		per := (size + nSlices - 1) / nSlices
+		for s := 0; s < nSlices; s++ {
+			start := s * per
+			count := per
+			if start+count > size {
+				count = size - start
+			}
+			if count <= 0 {
+				continue
+			}
+			id := len(pl.Slices)
+			pl.Slices = append(pl.Slices, Slice{
+				ID: id, Cluster: int32(c), Start: start, Count: count,
+			})
+			pl.ByCluster[c] = append(pl.ByCluster[c], id)
+		}
+	}
+
+	// Phase 2: duplication.
+	for c := range pl.Copies {
+		pl.Copies[c] = 1
+	}
+	if cfg.EnableDup && cfg.CopyFootprint > 0 {
+		duplicate(pl, sizes, heat, cfg)
+	}
+
+	// Per-copy heat share: cluster heat spread over its slices and copies.
+	for i := range pl.Slices {
+		s := &pl.Slices[i]
+		c := s.Cluster
+		share := heat[c] * float64(s.Count) / float64(sizes[c])
+		s.Heat = share / float64(pl.Copies[c])
+	}
+
+	// Phase 3: allocation.
+	if err := allocate(pl, cfg); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// blendHeat normalizes sizes and frequencies to mean 1 and blends them.
+func blendHeat(sizes []int, freq []float64, w float64) []float64 {
+	n := len(sizes)
+	var sizeSum float64
+	var freqSum float64
+	for i := 0; i < n; i++ {
+		sizeSum += float64(sizes[i])
+		freqSum += freq[i]
+	}
+	sizeMean := sizeSum / float64(n)
+	freqMean := freqSum / float64(n)
+	if sizeMean == 0 {
+		sizeMean = 1
+	}
+	if freqMean == 0 {
+		freqMean = 1
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = w*float64(sizes[i])/sizeMean + (1-w)*freq[i]/freqMean
+	}
+	return out
+}
+
+// th1Objective scores a candidate threshold: per-slice fixed access overhead
+// (frequency-weighted DMA setup for slice metadata and partial buffers) plus
+// an imbalance proxy — the cost of the largest single slice, which bounds
+// how well any allocation can balance.
+func th1Objective(sizes []int, freq []float64, th int, cfg Config) (cost float64, feasible bool) {
+	totalSlices := 0
+	var overhead float64
+	maxSlice := 0
+	for c, size := range sizes {
+		ns := 1
+		if size > th {
+			ns = (size + th - 1) / th
+		}
+		totalSlices += ns
+		overhead += freq[c] * float64(ns) * cfg.DMALatencyCycles
+		per := (size + ns - 1) / ns
+		if per > maxSlice {
+			maxSlice = per
+		}
+	}
+	// Metadata must fit WRAM: slices are spread across DPUs, but every DPU
+	// keeps the global slice directory for scheduling, as in the paper.
+	if totalSlices*cfg.MetaBytesPerSlice > cfg.WRAMMetaBudget {
+		return 0, false
+	}
+	var freqMean float64
+	for _, f := range freq {
+		freqMean += f
+	}
+	freqMean /= float64(len(freq))
+	imbalance := float64(maxSlice) * cfg.PointCycles * math.Max(freqMean, 1e-12)
+	return overhead + imbalance, true
+}
+
+// searchTh1 implements the paper's iterative threshold search: start at the
+// smallest cluster size and climb with a dynamic learning rate, keeping the
+// best feasible candidate.
+func searchTh1(sizes []int, freq []float64, cfg Config) int {
+	minSize, maxSize := math.MaxInt, 0
+	for _, s := range sizes {
+		if s < minSize && s > 0 {
+			minSize = s
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if minSize == math.MaxInt {
+		return 1
+	}
+
+	best := -1
+	bestCost := math.Inf(1)
+	th := float64(minSize)
+	lr := 2.0
+	for iter := 0; iter < 64 && th <= float64(maxSize)*2; iter++ {
+		cand := int(math.Ceil(th))
+		cost, feasible := th1Objective(sizes, freq, cand, cfg)
+		if feasible && cost < bestCost {
+			bestCost, best = cost, cand
+			lr *= 1.25 // accelerate while improving
+		} else {
+			lr = 1 + (lr-1)/2 // decay on plateau
+			if lr < 1.05 {
+				break
+			}
+		}
+		th *= lr
+	}
+	if best < 0 {
+		// Nothing feasible under the metadata budget: fall back to unsplit.
+		return maxSize
+	}
+	return best
+}
+
+// duplicate adds copies to clusters by priority heat/slices until the extra
+// footprint budget is exhausted (paper: "as many duplicated cluster slices
+// as PIM memory allows", hot clusters first).
+func duplicate(pl *Placement, sizes []int, heat []float64, cfg Config) {
+	budget := cfg.CopyFootprint * cfg.NumDPUs
+	// Repeatedly grant one copy to the cluster with the highest current
+	// priority heat/(slices x copies): copy counts converge to be
+	// proportional to heat and inversely proportional to the slice count,
+	// exactly the paper's th2[i] rule, bounded by the DPU count (copies must
+	// land on distinct devices).
+	for {
+		best, bestPriority := -1, 0.0
+		for c := range sizes {
+			ns := len(pl.ByCluster[c])
+			if ns == 0 || pl.Copies[c] >= cfg.NumDPUs {
+				continue
+			}
+			if sizes[c]*cfg.BytesPerPoint > budget {
+				continue
+			}
+			p := heat[c] / float64(ns) / float64(pl.Copies[c])
+			if p > bestPriority {
+				best, bestPriority = c, p
+			}
+		}
+		if best < 0 {
+			return
+		}
+		pl.Copies[best]++
+		budget -= sizes[best] * cfg.BytesPerPoint
+	}
+}
+
+// allocate assigns every slice copy to DPUs.
+func allocate(pl *Placement, cfg Config) error {
+	type copyRef struct {
+		slice int
+		heat  float64
+		bytes int
+	}
+	var refs []copyRef
+	for i := range pl.Slices {
+		s := &pl.Slices[i]
+		nCopies := pl.Copies[s.Cluster]
+		bytes := s.Count * cfg.BytesPerPoint
+		for k := 0; k < nCopies; k++ {
+			refs = append(refs, copyRef{slice: i, heat: s.Heat, bytes: bytes})
+		}
+		s.DPUs = s.DPUs[:0]
+	}
+
+	if !cfg.EnableBalance {
+		// Naive layout: whole clusters round-robin by id, copies to
+		// subsequent DPUs. This is the paper's imbalanced baseline.
+		for i := range pl.Slices {
+			s := &pl.Slices[i]
+			for k := 0; k < pl.Copies[s.Cluster]; k++ {
+				d := (int(s.Cluster) + k) % cfg.NumDPUs
+				s.DPUs = append(s.DPUs, d)
+				pl.DPUHeat[d] += s.Heat
+				pl.DPUBytes[d] += s.Count * cfg.BytesPerPoint
+			}
+		}
+		return validateCapacity(pl, cfg)
+	}
+
+	// Greedy: hottest copies first, each to the coldest DPU that has room
+	// and does not already hold a copy of the same slice.
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].heat != refs[j].heat {
+			return refs[i].heat > refs[j].heat
+		}
+		return refs[i].slice < refs[j].slice
+	})
+	capacity := cfg.MRAMDataBudget + cfg.CopyFootprint
+	for _, r := range refs {
+		s := &pl.Slices[r.slice]
+		bestD := -1
+		for d := 0; d < cfg.NumDPUs; d++ {
+			if pl.DPUBytes[d]+r.bytes > capacity {
+				continue
+			}
+			if containsInt(s.DPUs, d) {
+				continue
+			}
+			if bestD < 0 || pl.DPUHeat[d] < pl.DPUHeat[bestD] {
+				bestD = d
+			}
+		}
+		if bestD < 0 {
+			if len(s.DPUs) > 0 {
+				continue // a duplicate that no longer fits: drop the copy
+			}
+			return fmt.Errorf("layout: slice %d (%d bytes) fits on no DPU", s.ID, r.bytes)
+		}
+		s.DPUs = append(s.DPUs, bestD)
+		pl.DPUHeat[bestD] += r.heat
+		pl.DPUBytes[bestD] += r.bytes
+	}
+	// Recompute copies to reflect dropped duplicates.
+	for c := range pl.Copies {
+		minCopies := math.MaxInt
+		for _, si := range pl.ByCluster[c] {
+			if l := len(pl.Slices[si].DPUs); l < minCopies {
+				minCopies = l
+			}
+		}
+		if minCopies != math.MaxInt {
+			pl.Copies[c] = minCopies
+		}
+	}
+
+	exchangeForReuse(pl, cfg)
+	return validateCapacity(pl, cfg)
+}
+
+// exchangeForReuse tries to co-locate the primary copies of same-cluster
+// slices (for residual/LUT/top-k reuse) by swapping slice copies between
+// DPUs when the swap keeps the heat balance within 2 %.
+func exchangeForReuse(pl *Placement, cfg Config) {
+	const tolerance = 1.02
+	maxHeat := func() float64 {
+		m := 0.0
+		for _, h := range pl.DPUHeat {
+			if h > m {
+				m = h
+			}
+		}
+		return m
+	}
+	limit := maxHeat() * tolerance
+
+	for pass := 0; pass < 3; pass++ {
+		moved := false
+		for c := range pl.ByCluster {
+			ids := pl.ByCluster[c]
+			if len(ids) < 2 {
+				continue
+			}
+			home := pl.Slices[ids[0]].DPUs
+			if len(home) == 0 {
+				continue
+			}
+			target := home[0]
+			for _, si := range ids[1:] {
+				s := &pl.Slices[si]
+				if len(s.DPUs) == 0 || s.DPUs[0] == target || containsInt(s.DPUs, target) {
+					continue
+				}
+				from := s.DPUs[0]
+				bytes := s.Count * cfg.BytesPerPoint
+				if pl.DPUBytes[target]+bytes > cfg.MRAMDataBudget+cfg.CopyFootprint {
+					continue
+				}
+				if pl.DPUHeat[target]+s.Heat > limit {
+					continue
+				}
+				s.DPUs[0] = target
+				pl.DPUHeat[from] -= s.Heat
+				pl.DPUBytes[from] -= bytes
+				pl.DPUHeat[target] += s.Heat
+				pl.DPUBytes[target] += bytes
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+func validateCapacity(pl *Placement, cfg Config) error {
+	capacity := cfg.MRAMDataBudget + cfg.CopyFootprint
+	for d, b := range pl.DPUBytes {
+		if b > capacity && cfg.EnableBalance {
+			return fmt.Errorf("layout: DPU %d over capacity: %d > %d", d, b, capacity)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: every cluster fully covered by its
+// slices exactly once per copy, no slice duplicated on one DPU, at least one
+// copy per slice. Intended for tests and engine assertions.
+func (pl *Placement) Validate(sizes []int) error {
+	for c, ids := range pl.ByCluster {
+		covered := 0
+		expectedCopies := -1
+		for _, si := range ids {
+			s := pl.Slices[si]
+			if int(s.Cluster) != c {
+				return fmt.Errorf("layout: slice %d in wrong cluster bucket", si)
+			}
+			covered += s.Count
+			if len(s.DPUs) == 0 {
+				return fmt.Errorf("layout: slice %d unallocated", si)
+			}
+			seen := map[int]bool{}
+			for _, d := range s.DPUs {
+				if seen[d] {
+					return fmt.Errorf("layout: slice %d duplicated on DPU %d", si, d)
+				}
+				if d < 0 || d >= pl.NumDPUs {
+					return fmt.Errorf("layout: slice %d on invalid DPU %d", si, d)
+				}
+				seen[d] = true
+			}
+			if expectedCopies == -1 {
+				expectedCopies = len(s.DPUs)
+			}
+		}
+		if covered != sizes[c] {
+			return fmt.Errorf("layout: cluster %d covered %d of %d points", c, covered, sizes[c])
+		}
+	}
+	return nil
+}
+
+// ReuseScore counts pairs of same-cluster slices whose primary copies share a
+// DPU — the quantity the exchange pass maximizes.
+func (pl *Placement) ReuseScore() int {
+	score := 0
+	for _, ids := range pl.ByCluster {
+		byDPU := map[int]int{}
+		for _, si := range ids {
+			if len(pl.Slices[si].DPUs) > 0 {
+				byDPU[pl.Slices[si].DPUs[0]]++
+			}
+		}
+		for _, n := range byDPU {
+			score += n * (n - 1) / 2
+		}
+	}
+	return score
+}
+
+// HeatImbalance returns max/mean DPU heat (1 = perfect balance).
+func (pl *Placement) HeatImbalance() float64 {
+	var sum, max float64
+	for _, h := range pl.DPUHeat {
+		sum += h
+		if h > max {
+			max = h
+		}
+	}
+	mean := sum / float64(len(pl.DPUHeat))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}

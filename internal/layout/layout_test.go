@@ -1,0 +1,304 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func baseConfig() Config {
+	return Config{
+		NumDPUs:        8,
+		BytesPerPoint:  20,
+		MRAMDataBudget: 1 << 20,
+		CopyFootprint:  64 << 10,
+		WRAMMetaBudget: 16 << 10,
+		EnableSplit:    true,
+		EnableDup:      true,
+		EnableBalance:  true,
+	}
+}
+
+// zipfSizes makes skewed cluster sizes and frequencies.
+func zipfSizes(rng *rand.Rand, n, scale int) ([]int, []float64) {
+	sizes := make([]int, n)
+	freq := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = scale/(i+1) + 1
+		freq[i] = float64(scale) / float64(i+1) * (0.5 + rng.Float64())
+	}
+	return sizes, freq
+}
+
+func TestOptimizeValidatesInput(t *testing.T) {
+	cfg := baseConfig()
+	if _, err := Optimize(nil, nil, cfg); err == nil {
+		t.Fatal("no clusters must fail")
+	}
+	if _, err := Optimize([]int{10}, []float64{1, 2}, cfg); err == nil {
+		t.Fatal("freq length mismatch must fail")
+	}
+	bad := cfg
+	bad.NumDPUs = 0
+	if _, err := Optimize([]int{10}, []float64{1}, bad); err == nil {
+		t.Fatal("NumDPUs=0 must fail")
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes, freq := zipfSizes(rng, 40, 5000)
+	pl, err := Optimize(sizes, freq, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Large clusters must be split: every slice obeys th1.
+	for _, s := range pl.Slices {
+		if s.Count > pl.Th1 {
+			t.Fatalf("slice %d has %d points > th1=%d", s.ID, s.Count, pl.Th1)
+		}
+	}
+}
+
+func TestSplitDisabledKeepsClustersWhole(t *testing.T) {
+	cfg := baseConfig()
+	cfg.EnableSplit = false
+	sizes := []int{100, 2000, 50}
+	freq := []float64{1, 10, 1}
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, ids := range pl.ByCluster {
+		if len(ids) != 1 {
+			t.Fatalf("cluster %d split into %d slices with splitting disabled", c, len(ids))
+		}
+	}
+	if err := pl.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcedSplitThreshold(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SplitThreshold = 300
+	sizes := []int{1000, 100}
+	freq := []float64{5, 1}
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Th1 != 300 {
+		t.Fatalf("th1 = %d, want 300", pl.Th1)
+	}
+	if got := len(pl.ByCluster[0]); got != 4 {
+		t.Fatalf("cluster of 1000 with th1=300 should make 4 slices, got %d", got)
+	}
+	if got := len(pl.ByCluster[1]); got != 1 {
+		t.Fatalf("cluster of 100 should stay whole, got %d slices", got)
+	}
+}
+
+func TestAutoTh1FeasibleUnderMetadataBudget(t *testing.T) {
+	cfg := baseConfig()
+	cfg.WRAMMetaBudget = 64 * cfg.MetaBytesPerSlice // tiny: at most 64 slices
+	if cfg.MetaBytesPerSlice == 0 {
+		cfg.WRAMMetaBudget = 64 * 16
+	}
+	rng := rand.New(rand.NewSource(2))
+	sizes, freq := zipfSizes(rng, 30, 3000)
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Slices)*16 > 64*16 {
+		t.Fatalf("metadata budget violated: %d slices", len(pl.Slices))
+	}
+}
+
+func TestDuplicationPrefersHotClusters(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CopyFootprint = 100 * cfg.BytesPerPoint // room for ~100 points per DPU extra
+	sizes := []int{100, 100, 100, 100}
+	freq := []float64{100, 1, 1, 1} // cluster 0 is hot
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Copies[0] <= pl.Copies[1] {
+		t.Fatalf("hot cluster should get more copies: %v", pl.Copies)
+	}
+	if err := pl.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicationDisabled(t *testing.T) {
+	cfg := baseConfig()
+	cfg.EnableDup = false
+	sizes := []int{100, 200}
+	freq := []float64{10, 1}
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range pl.Copies {
+		if n != 1 {
+			t.Fatalf("cluster %d has %d copies with duplication disabled", c, n)
+		}
+	}
+}
+
+func TestDuplicationRespectsBudget(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CopyFootprint = 10 * cfg.BytesPerPoint
+	sizes := []int{1000, 1000} // each copy costs 1000 points — over budget
+	freq := []float64{100, 100}
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range pl.Copies {
+		if n != 1 {
+			t.Fatalf("budget too small for copies, got %v", pl.Copies)
+		}
+	}
+}
+
+func TestAllocationBalancesHeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes, freq := zipfSizes(rng, 60, 4000)
+
+	balanced := baseConfig()
+	plB, err := Optimize(sizes, freq, balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := baseConfig()
+	naive.EnableSplit = false
+	naive.EnableDup = false
+	naive.EnableBalance = false
+	plN, err := Optimize(sizes, freq, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plB.HeatImbalance() >= plN.HeatImbalance() {
+		t.Fatalf("balanced imbalance %v should beat naive %v",
+			plB.HeatImbalance(), plN.HeatImbalance())
+	}
+	if plB.HeatImbalance() > 1.8 {
+		t.Fatalf("balanced layout too imbalanced: %v", plB.HeatImbalance())
+	}
+}
+
+func TestCopiesLandOnDistinctDPUs(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CopyFootprint = 1 << 20
+	sizes := []int{50, 50, 50}
+	freq := []float64{100, 1, 1}
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pl.Slices {
+		seen := map[int]bool{}
+		for _, d := range s.DPUs {
+			if seen[d] {
+				t.Fatalf("slice %d has two copies on DPU %d", s.ID, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestAllocationFailsWhenDataCannotFit(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MRAMDataBudget = 10 * cfg.BytesPerPoint
+	cfg.CopyFootprint = 0
+	cfg.EnableDup = false
+	cfg.EnableSplit = false
+	sizes := []int{1000}
+	freq := []float64{1}
+	if _, err := Optimize(sizes, freq, cfg); err == nil {
+		t.Fatal("expected allocation failure for oversized slice")
+	}
+}
+
+func TestExchangeImprovesReuseWithoutBreakingBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sizes, freq := zipfSizes(rng, 50, 6000)
+	cfg := baseConfig()
+	pl, err := Optimize(sizes, freq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Balance must remain reasonable after exchange passes.
+	if pl.HeatImbalance() > 2.0 {
+		t.Fatalf("exchange wrecked balance: %v", pl.HeatImbalance())
+	}
+	if pl.ReuseScore() < 0 {
+		t.Fatal("reuse score must be non-negative")
+	}
+}
+
+func TestPlacementInvariantsProperty(t *testing.T) {
+	f := func(rawSizes []uint16, seed int64) bool {
+		if len(rawSizes) == 0 {
+			return true
+		}
+		if len(rawSizes) > 40 {
+			rawSizes = rawSizes[:40]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int, len(rawSizes))
+		freq := make([]float64, len(rawSizes))
+		for i, s := range rawSizes {
+			sizes[i] = int(s)%2000 + 1
+			freq[i] = rng.Float64() * 10
+		}
+		pl, err := Optimize(sizes, freq, baseConfig())
+		if err != nil {
+			return false
+		}
+		return pl.Validate(sizes) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatImbalanceOfEmptyHeatIsOne(t *testing.T) {
+	pl := &Placement{NumDPUs: 4, DPUHeat: make([]float64, 4)}
+	if pl.HeatImbalance() != 1 {
+		t.Fatal("zero-heat imbalance should be 1")
+	}
+}
+
+func TestSmallerSplitGranularityImprovesBalance(t *testing.T) {
+	// Figure 14(a)'s mechanism: finer slices allow better balance (up to
+	// overhead, which the engine charges separately).
+	rng := rand.New(rand.NewSource(5))
+	sizes, freq := zipfSizes(rng, 20, 8000)
+	coarse := baseConfig()
+	coarse.SplitThreshold = 1 << 20 // effectively no splitting
+	fine := baseConfig()
+	fine.SplitThreshold = 200
+	plC, err := Optimize(sizes, freq, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plF, err := Optimize(sizes, freq, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plF.HeatImbalance() > plC.HeatImbalance()+1e-9 {
+		t.Fatalf("finer split should not worsen balance: %v vs %v",
+			plF.HeatImbalance(), plC.HeatImbalance())
+	}
+}

@@ -1,0 +1,71 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"drimann/internal/upmem"
+)
+
+func TestSuggestAssignmentNeverWorseThanAllPIM(t *testing.T) {
+	p := params()
+	costs, err := Costs(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := FromPlatform(upmem.PlatformCPU())
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+
+	allPIM := Assignment{HostPhases: map[upmem.Phase]bool{}}
+	suggested := SuggestAssignment(costs, host, pim)
+	if BatchTime(costs, host, pim, suggested) > BatchTime(costs, host, pim, allPIM) {
+		t.Fatal("suggested assignment must not lose to the all-PIM baseline")
+	}
+}
+
+func TestSuggestAssignmentPicksHighC2IOForHost(t *testing.T) {
+	// CL has the highest C2IO of the phases after multiplier-less
+	// conversion (it does full-dimension distances against small data), so
+	// a sensible suggestion with a capable host includes CL — exactly the
+	// paper's deployment choice.
+	p := params()
+	costs, err := Costs(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := FromPlatform(upmem.PlatformCPU())
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+	asg := SuggestAssignment(costs, host, pim)
+	if len(asg.HostPhases) == 0 {
+		t.Skip("model found all-PIM optimal at these constants")
+	}
+	// Whatever is on the host must have C2IO >= anything left on the PIM.
+	minHost := 1e18
+	for ph := range asg.HostPhases {
+		if c := costs[ph].C2IO(); c < minHost {
+			minHost = c
+		}
+	}
+	for ph := upmem.Phase(0); ph < upmem.NumPhases; ph++ {
+		if asg.HostPhases[ph] || (costs[ph].Compute == 0 && costs[ph].IO == 0) {
+			continue
+		}
+		if costs[ph].C2IO() > minHost+1e-12 {
+			t.Fatalf("phase %v (C2IO %v) on PIM while a lower-C2IO phase is on host (%v)",
+				ph, costs[ph].C2IO(), minHost)
+		}
+	}
+}
+
+func TestSuggestAssignmentWeakHostGetsNothing(t *testing.T) {
+	p := params()
+	costs, err := Costs(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakHost := Hardware{PE: 1, FreqHz: 1e6, Lanes: 1, BWBytes: 1e6}
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+	asg := SuggestAssignment(costs, weakHost, pim)
+	if len(asg.HostPhases) != 0 {
+		t.Fatalf("a hopeless host should receive no phases, got %v", asg.HostPhases)
+	}
+}

@@ -1,0 +1,300 @@
+// Package perfmodel implements DRIM-ANN's analytic performance model
+// (paper §4, Equations 1-13): closed-form per-phase compute and memory
+// costs of cluster-based ANNS as a function of the index parameters
+// (K, P, C, M, CB), the dataset shape (N, Q, D, bit widths) and the hardware
+// (#PE, frequency, bandwidth). The model drives the design space
+// exploration, the runtime scheduler's heat estimates, and the roofline and
+// scalability figures.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drimann/internal/upmem"
+)
+
+// Params carries the notation of the paper's Table 2. Byte widths replace
+// the paper's bit widths (the ratio is what matters; bandwidths are in
+// bytes/s throughout this repository).
+type Params struct {
+	N int64 // total vectors
+	Q int   // queries per batch
+	D int   // dimension
+
+	K  int // neighbors per query
+	P  int // located clusters per query (nprobe)
+	C  int // average points per cluster (N / nlist)
+	M  int // subvectors per vector
+	CB int // codebook entries per subspace
+
+	BytesC  float64 // centroid element width (default 1, uint8)
+	BytesQ  float64 // query element width (default 1)
+	BytesP  float64 // encoded point sub-code width (default 1; 2 if CB > 256)
+	BytesCB float64 // codebook element width (default 2, int16)
+	BytesL  float64 // LUT entry width (default 4, uint32)
+	BytesA  float64 // address width (default 4)
+}
+
+func (p *Params) defaults() error {
+	if p.N <= 0 || p.Q <= 0 || p.D <= 0 || p.K <= 0 || p.P <= 0 || p.C <= 0 || p.M <= 0 || p.CB <= 0 {
+		return fmt.Errorf("perfmodel: all of N,Q,D,K,P,C,M,CB must be positive: %+v", *p)
+	}
+	if p.D%p.M != 0 {
+		return fmt.Errorf("perfmodel: M=%d must divide D=%d", p.M, p.D)
+	}
+	if p.BytesC == 0 {
+		p.BytesC = 1
+	}
+	if p.BytesQ == 0 {
+		p.BytesQ = 1
+	}
+	if p.BytesP == 0 {
+		if p.CB > 256 {
+			p.BytesP = 2
+		} else {
+			p.BytesP = 1
+		}
+	}
+	if p.BytesCB == 0 {
+		p.BytesCB = 2
+	}
+	if p.BytesL == 0 {
+		p.BytesL = 4
+	}
+	if p.BytesA == 0 {
+		p.BytesA = 4
+	}
+	return nil
+}
+
+// NList returns the cluster count N/C implied by the parameters.
+func (p Params) NList() float64 { return float64(p.N) / float64(p.C) }
+
+// Dist is Equation 2: the op count of an X-dimensional L2 distance
+// (subtract, square, accumulate per element), with the squaring op costing
+// mulCost add-equivalents. mulCost=1 reproduces the paper's dist(X)=3X-1;
+// mulCost=32 models UPMEM's software multiply; mulCost=2 models the SQT
+// replacement (abs + load).
+func Dist(x int, mulCost float64) float64 {
+	return float64(x)*(2+mulCost) - 1
+}
+
+func log2(x int) float64 {
+	if x <= 1 {
+		return 1
+	}
+	return math.Log2(float64(x))
+}
+
+// PhaseCost is one phase's total compute operations and memory traffic.
+type PhaseCost struct {
+	Compute float64 // operations
+	IO      float64 // bytes
+}
+
+// C2IO is Equation 13: compute-to-IO ratio of the phase.
+func (pc PhaseCost) C2IO() float64 {
+	if pc.IO == 0 {
+		return math.Inf(1)
+	}
+	return pc.Compute / pc.IO
+}
+
+// Costs evaluates Equations 1-11 for every phase. mulCost parameterizes the
+// squaring operation as in Dist.
+func Costs(p Params, mulCost float64) ([upmem.NumPhases]PhaseCost, error) {
+	var out [upmem.NumPhases]PhaseCost
+	if err := p.defaults(); err != nil {
+		return out, err
+	}
+	q := float64(p.Q)
+	nlist := p.NList()
+	d := float64(p.D)
+	pp := float64(p.P)
+	c := float64(p.C)
+	m := float64(p.M)
+	cb := float64(p.CB)
+
+	// Equation 1 & 3: cluster locating.
+	out[upmem.PhaseCL] = PhaseCost{
+		Compute: q * nlist * (Dist(p.D, mulCost) + log2(p.P) - 1),
+		IO:      q * nlist * ((p.BytesC+p.BytesQ)*d + (p.BytesL+p.BytesA)*(log2(p.P)+1)),
+	}
+	// Equations 4-5: residual calculation.
+	out[upmem.PhaseRC] = PhaseCost{
+		Compute: q * pp * d,
+		IO:      (p.BytesC + p.BytesQ) * q * pp * d,
+	}
+	// Equations 6-7: LUT construction.
+	out[upmem.PhaseLC] = PhaseCost{
+		Compute: q * pp * cb * Dist(p.D/p.M, mulCost) * m,
+		IO:      q * pp * cb * ((p.BytesCB+p.BytesQ)*d + p.BytesL*m),
+	}
+	// Equations 8-9: distance calculation.
+	out[upmem.PhaseDC] = PhaseCost{
+		Compute: q * pp * c * (m - 1),
+		IO:      q * pp * c * ((p.BytesA+p.BytesL)*m + p.BytesL),
+	}
+	// Equations 10-11: top-k sorting.
+	out[upmem.PhaseTS] = PhaseCost{
+		Compute: q * pp * c * (log2(p.K) - 1),
+		IO:      (p.BytesL + p.BytesA) * q * pp * c * (log2(p.K) + 1),
+	}
+	return out, nil
+}
+
+// Hardware models one execution platform for Equation 12.
+type Hardware struct {
+	PE     float64 // parallel processing elements (threads or DPUs)
+	FreqHz float64
+	// Lanes is the SIMD width usable by the distance kernels (the AVX factor
+	// for the CPU baseline; 1 for scalar DPUs).
+	Lanes float64
+	// BWBytes is the aggregate memory bandwidth available to the phase.
+	BWBytes float64
+}
+
+// FromPlatform derives phase hardware from a platform model.
+func FromPlatform(p upmem.Platform) Hardware {
+	lanes := float64(p.VectorWidth)
+	if lanes < 1 {
+		lanes = 1
+	}
+	return Hardware{
+		PE:      float64(p.Threads),
+		FreqHz:  p.FreqGHz * 1e9,
+		Lanes:   lanes,
+		BWBytes: p.MemBWGBs * 1e9,
+	}
+}
+
+// PhaseTime is Equation 12: compute and memory fully overlap, so the phase
+// takes the maximum of the two.
+func PhaseTime(pc PhaseCost, hw Hardware) float64 {
+	compute := pc.Compute / (hw.FreqHz * hw.PE * hw.Lanes)
+	io := pc.IO / hw.BWBytes
+	return math.Max(compute, io)
+}
+
+// Assignment says which phases run on the host; the rest run on the PIM.
+// DRIM-ANN's default splits CL onto the host (paper §5.2).
+type Assignment struct {
+	HostPhases map[upmem.Phase]bool
+}
+
+// DefaultAssignment places CL on the host.
+func DefaultAssignment() Assignment {
+	return Assignment{HostPhases: map[upmem.Phase]bool{upmem.PhaseCL: true}}
+}
+
+// BatchTime is the Equation 14 objective: host and PIM pipelines overlap, so
+// the batch takes the maximum of the two pipelines' summed phase times.
+func BatchTime(costs [upmem.NumPhases]PhaseCost, host, pim Hardware, asg Assignment) float64 {
+	var hostT, pimT float64
+	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+		pc := costs[p]
+		if pc.Compute == 0 && pc.IO == 0 {
+			continue
+		}
+		if asg.HostPhases[p] {
+			hostT += PhaseTime(pc, host)
+		} else {
+			pimT += PhaseTime(pc, pim)
+		}
+	}
+	return math.Max(hostT, pimT)
+}
+
+// QPS converts a batch time into queries per second.
+func QPS(p Params, batchTime float64) float64 {
+	if batchTime <= 0 {
+		return 0
+	}
+	return float64(p.Q) / batchTime
+}
+
+// PredictQPS is the convenience entry point used by the DSE and the
+// experiment harness: UPMEM-side phases with the SQT cost model, CL on the
+// host.
+func PredictQPS(p Params, host, pim Hardware, sqt bool) (float64, error) {
+	mulCost := 32.0
+	if sqt {
+		mulCost = 2.0
+	}
+	costs, err := Costs(p, mulCost)
+	if err != nil {
+		return 0, err
+	}
+	// The host has hardware multipliers regardless of the PIM kernel choice.
+	hostCosts, err := Costs(p, 1.0)
+	if err != nil {
+		return 0, err
+	}
+	asg := DefaultAssignment()
+	mixed := costs
+	mixed[upmem.PhaseCL] = hostCosts[upmem.PhaseCL]
+	return QPS(p, BatchTime(mixed, host, pim, asg)), nil
+}
+
+// SuggestAssignment implements the paper's placement rule (§4): phases with
+// a higher compute-to-IO ratio go to the host — after the multiplier-less
+// conversion most phases are memory-intensive and belong on the PIM, but
+// C2IO-heavy ones can overlap on the host. The suggestion minimizes the
+// Equation-14 objective greedily: phases are sorted by C2IO and host-side
+// prefixes are evaluated against the full model.
+func SuggestAssignment(costs [upmem.NumPhases]PhaseCost, host, pim Hardware) Assignment {
+	type ranked struct {
+		p    upmem.Phase
+		c2io float64
+	}
+	var phases []ranked
+	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+		if costs[p].Compute == 0 && costs[p].IO == 0 {
+			continue
+		}
+		phases = append(phases, ranked{p, costs[p].C2IO()})
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].c2io > phases[j].c2io })
+
+	best := Assignment{HostPhases: map[upmem.Phase]bool{}}
+	bestTime := BatchTime(costs, host, pim, best)
+	cur := map[upmem.Phase]bool{}
+	for _, r := range phases {
+		cur[r.p] = true
+		cand := Assignment{HostPhases: map[upmem.Phase]bool{}}
+		for p := range cur {
+			cand.HostPhases[p] = true
+		}
+		if t := BatchTime(costs, host, pim, cand); t < bestTime {
+			bestTime, best = t, cand
+		}
+	}
+	return best
+}
+
+// ArithmeticIntensity returns total ops per byte over all phases — the
+// x-axis of the roofline plot (Figure 2).
+func ArithmeticIntensity(costs [upmem.NumPhases]PhaseCost) float64 {
+	var ops, bytes float64
+	for _, pc := range costs {
+		ops += pc.Compute
+		bytes += pc.IO
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return ops / bytes
+}
+
+// DatasetBytes returns the memory footprint of the encoded dataset plus the
+// raw vectors (used for OOM checks in the roofline and scalability studies).
+func DatasetBytes(p Params) float64 {
+	if err := p.defaults(); err != nil {
+		return 0
+	}
+	raw := float64(p.N) * float64(p.D) * p.BytesQ
+	codes := float64(p.N) * float64(p.M) * p.BytesP
+	return raw + codes
+}

@@ -1,0 +1,234 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"drimann/internal/upmem"
+)
+
+func params() Params {
+	return Params{
+		N: 1_000_000, Q: 1000, D: 128,
+		K: 10, P: 32, C: 100, M: 16, CB: 256,
+	}
+}
+
+func TestDistEquation2(t *testing.T) {
+	// dist(X) = 3X - 1 with a unit-cost multiply (the paper's form).
+	if got := Dist(128, 1); got != 3*128-1 {
+		t.Fatalf("Dist(128,1) = %v, want %v", got, 3*128-1)
+	}
+	// SQT replaces the multiply with abs+load (2 ops).
+	if got := Dist(8, 2); got != 8*4-1 {
+		t.Fatalf("Dist(8,2) = %v", got)
+	}
+	// Software multiply on UPMEM costs 32.
+	if Dist(8, 32) <= Dist(8, 2) {
+		t.Fatal("software multiply must dominate SQT cost")
+	}
+}
+
+func TestCostsHandComputedCL(t *testing.T) {
+	p := params()
+	costs, err := Costs(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 1: Q * N/C * (dist(D) + log2(P) - 1).
+	nlist := float64(p.N) / float64(p.C)
+	wantCompute := float64(p.Q) * nlist * (float64(3*p.D-1) + 5 - 1)
+	if math.Abs(costs[upmem.PhaseCL].Compute-wantCompute) > 1e-6*wantCompute {
+		t.Fatalf("CL compute = %v, want %v", costs[upmem.PhaseCL].Compute, wantCompute)
+	}
+	// Equation 3 IO with Bc=Bq=1, Bl=Ba=4.
+	wantIO := float64(p.Q) * nlist * (2*float64(p.D) + 8*(5+1))
+	if math.Abs(costs[upmem.PhaseCL].IO-wantIO) > 1e-6*wantIO {
+		t.Fatalf("CL IO = %v, want %v", costs[upmem.PhaseCL].IO, wantIO)
+	}
+}
+
+func TestCostsHandComputedRCDC(t *testing.T) {
+	p := params()
+	costs, err := Costs(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 4: Q*P*D.
+	if got, want := costs[upmem.PhaseRC].Compute, float64(p.Q*p.P*p.D); got != want {
+		t.Fatalf("RC compute = %v, want %v", got, want)
+	}
+	// Equation 5: (Bc+Bq)*Q*P*D.
+	if got, want := costs[upmem.PhaseRC].IO, 2*float64(p.Q*p.P*p.D); got != want {
+		t.Fatalf("RC IO = %v, want %v", got, want)
+	}
+	// Equation 8: Q*P*C*(M-1).
+	if got, want := costs[upmem.PhaseDC].Compute, float64(p.Q*p.P*p.C*(p.M-1)); got != want {
+		t.Fatalf("DC compute = %v, want %v", got, want)
+	}
+	// Equation 9: Q*P*C*((Ba+Bl)*M + Bl).
+	if got, want := costs[upmem.PhaseDC].IO, float64(p.Q*p.P*p.C)*(8*16+4); got != want {
+		t.Fatalf("DC IO = %v, want %v", got, want)
+	}
+}
+
+func TestCostsValidation(t *testing.T) {
+	p := params()
+	p.M = 7 // does not divide 128
+	if _, err := Costs(p, 1); err == nil {
+		t.Fatal("expected error for M not dividing D")
+	}
+	p = params()
+	p.Q = 0
+	if _, err := Costs(p, 1); err == nil {
+		t.Fatal("expected error for Q=0")
+	}
+}
+
+func TestLCBottleneckShiftsWithNlist(t *testing.T) {
+	// Figure 9's phenomenon: raising nlist (lowering C) moves the PIM
+	// bottleneck from DC to LC.
+	// LC work per probed cluster scales with ~4*CB*D ops; DC with C*(M-1).
+	// The crossover sits at C ~ 8500 for these parameters — consistent with
+	// the paper, where nlist=2^13 on 100M vectors (C~12k) is DC-bound and
+	// nlist=2^16 (C~1.5k) is LC-bound.
+	smallNlist := params()
+	smallNlist.C = 12000 // nlist ~ 83: DC-dominated
+	bigNlist := params()
+	bigNlist.C = 1500 // nlist ~ 667: LC-dominated
+
+	cs, err := Costs(smallNlist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Costs(bigNlist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[upmem.PhaseDC].Compute <= cs[upmem.PhaseLC].Compute {
+		t.Fatal("with few clusters DC should dominate LC")
+	}
+	if cb[upmem.PhaseLC].Compute <= cb[upmem.PhaseDC].Compute {
+		t.Fatal("with many clusters LC should dominate DC")
+	}
+}
+
+func TestPhaseTimeMaxForm(t *testing.T) {
+	hw := Hardware{PE: 10, FreqHz: 1e9, Lanes: 1, BWBytes: 1e9}
+	computeBound := PhaseCost{Compute: 1e12, IO: 1}
+	ioBound := PhaseCost{Compute: 1, IO: 1e12}
+	if got := PhaseTime(computeBound, hw); got != 1e12/1e10 {
+		t.Fatalf("compute-bound time = %v", got)
+	}
+	if got := PhaseTime(ioBound, hw); got != 1e12/1e9 {
+		t.Fatalf("io-bound time = %v", got)
+	}
+}
+
+func TestBatchTimeOverlapsHostAndPIM(t *testing.T) {
+	p := params()
+	costs, err := Costs(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := FromPlatform(upmem.PlatformCPU())
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+	asg := DefaultAssignment()
+	total := BatchTime(costs, host, pim, asg)
+
+	var hostT, pimT float64
+	for ph := upmem.Phase(0); ph < upmem.NumPhases; ph++ {
+		if costs[ph].Compute == 0 && costs[ph].IO == 0 {
+			continue
+		}
+		if asg.HostPhases[ph] {
+			hostT += PhaseTime(costs[ph], host)
+		} else {
+			pimT += PhaseTime(costs[ph], pim)
+		}
+	}
+	if total != math.Max(hostT, pimT) {
+		t.Fatalf("BatchTime = %v, want max(%v, %v)", total, hostT, pimT)
+	}
+}
+
+func TestPredictQPSSQTHelps(t *testing.T) {
+	p := params()
+	host := FromPlatform(upmem.PlatformCPU())
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+	withSQT, err := PredictQPS(p, host, pim, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutSQT, err := PredictQPS(p, host, pim, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSQT <= withoutSQT {
+		t.Fatalf("SQT must improve predicted QPS: %v vs %v", withSQT, withoutSQT)
+	}
+	ratio := withSQT / withoutSQT
+	if ratio > 32 {
+		t.Fatalf("SQT gain %v cannot exceed the multiply cost ratio", ratio)
+	}
+}
+
+func TestQPSMonotonicInNprobe(t *testing.T) {
+	host := FromPlatform(upmem.PlatformCPU())
+	pim := FromPlatform(upmem.PlatformUPMEM(32))
+	prev := math.Inf(1)
+	for _, nprobe := range []int{16, 32, 64, 128} {
+		p := params()
+		p.P = nprobe
+		qps, err := PredictQPS(p, host, pim, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qps >= prev {
+			t.Fatalf("QPS should fall as nprobe grows: %v -> %v", prev, qps)
+		}
+		prev = qps
+	}
+}
+
+func TestC2IO(t *testing.T) {
+	pc := PhaseCost{Compute: 100, IO: 50}
+	if pc.C2IO() != 2 {
+		t.Fatalf("C2IO = %v", pc.C2IO())
+	}
+	if !math.IsInf(PhaseCost{Compute: 1}.C2IO(), 1) {
+		t.Fatal("zero IO should give infinite C2IO")
+	}
+}
+
+func TestArithmeticIntensityLow(t *testing.T) {
+	// ANNS is memory-hungry: its overall arithmetic intensity is low
+	// (Figure 2 places it well left of the GPU roofline knee).
+	costs, err := Costs(params(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := ArithmeticIntensity(costs)
+	if ai <= 0 || ai > 20 {
+		t.Fatalf("arithmetic intensity %v outside plausible ANNS range", ai)
+	}
+}
+
+func TestDatasetBytes(t *testing.T) {
+	p := params()
+	want := float64(p.N)*128 + float64(p.N)*16
+	if got := DatasetBytes(p); got != want {
+		t.Fatalf("DatasetBytes = %v, want %v", got, want)
+	}
+}
+
+func TestCodeBytesDefaultFollowsCB(t *testing.T) {
+	p := params()
+	p.CB = 1024
+	if _, err := Costs(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.BytesP != 0 {
+		t.Fatal("Costs must not mutate the caller's copy")
+	}
+}

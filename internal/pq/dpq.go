@@ -1,0 +1,52 @@
+package pq
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrainDPQ refines a PQ quantizer with stochastic gradient descent on the
+// reconstruction loss, a simplified unsupervised stand-in for DPQ
+// (Klein & Wolf's end-to-end supervised product quantization; the paper's
+// engine only needs the resulting codebooks, not the training labels — see
+// DESIGN.md substitutions). Starting from k-means codebooks, each epoch
+// re-encodes a mini-batch and nudges the selected entries toward the
+// residual gradient with momentum.
+func TrainDPQ(data []float32, dim int, cfg Config, epochs int, lr float64) (*Quantizer, error) {
+	if epochs < 1 {
+		epochs = 5
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	q, err := Train(data, dim, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pq: DPQ init: %w", err)
+	}
+	n := len(data) / dim
+	rng := rand.New(rand.NewSource(cfg.Seed + 777))
+	batch := 256
+	if batch > n {
+		batch = n
+	}
+	velocity := make([]float32, len(q.Codebooks))
+	code := make([]uint16, q.M)
+	const momentum = 0.9
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < batch; b++ {
+			i := rng.Intn(n)
+			row := data[i*dim : (i+1)*dim]
+			q.Encode(row, code)
+			for m := 0; m < q.M; m++ {
+				entryOff := (m*q.CB + int(code[m])) * q.DSub
+				sub := row[m*q.DSub : (m+1)*q.DSub]
+				for j := 0; j < q.DSub; j++ {
+					grad := q.Codebooks[entryOff+j] - sub[j] // d/dc ||x - c||^2 / 2
+					velocity[entryOff+j] = momentum*velocity[entryOff+j] - float32(lr)*grad
+					q.Codebooks[entryOff+j] += velocity[entryOff+j]
+				}
+			}
+		}
+	}
+	return q, nil
+}

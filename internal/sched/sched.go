@@ -1,0 +1,198 @@
+// Package sched implements DRIM-ANN's runtime query scheduling (paper §3.3):
+// a greedy mapper that sends each (query, cluster-slice) task to the coldest
+// DPU holding a copy of that slice, a rebalancing pass that exploits
+// duplicated slices to shave the long tail, and overheat postponement that
+// defers tasks from DPUs loaded beyond th3 times the mean to the next batch.
+// After scheduling, all DPUs are launched synchronously.
+package sched
+
+import (
+	"sort"
+
+	"drimann/internal/layout"
+)
+
+// Request asks for one query to be searched in one located cluster.
+type Request struct {
+	Query   int32
+	Cluster int32
+}
+
+// Task is a scheduled unit: one query scanning one slice copy on one DPU.
+type Task struct {
+	Query   int32
+	Cluster int32
+	Slice   int // index into placement.Slices
+	DPU     int
+}
+
+// Config controls scheduling.
+type Config struct {
+	// Cost predicts the execution cycles of scanning `points` points for one
+	// query; the engine supplies the performance-model-derived estimate.
+	Cost func(points int) float64
+	// Th3 is the overheat threshold: after greedy assignment, tasks are
+	// postponed while a DPU's predicted heat exceeds Th3 x mean heat.
+	// <= 0 disables postponement.
+	Th3 float64
+	// Rebalance enables the long-tail pass that moves tasks from the hottest
+	// DPU to colder replicas.
+	Rebalance bool
+}
+
+// Batch is the result of scheduling one query batch.
+type Batch struct {
+	PerDPU    [][]Task  // tasks per DPU
+	Postponed []Task    // deferred to the next batch (already slice-level)
+	Heat      []float64 // predicted cycles per DPU
+}
+
+// Greedy schedules requests (plus carried-over tasks) onto DPUs.
+func Greedy(reqs []Request, carried []Task, pl *layout.Placement, cfg Config) *Batch {
+	if cfg.Cost == nil {
+		cfg.Cost = func(points int) float64 { return float64(points) }
+	}
+	b := &Batch{
+		PerDPU: make([][]Task, pl.NumDPUs),
+		Heat:   make([]float64, pl.NumDPUs),
+	}
+
+	// Expand requests into slice-level tasks; carried tasks come first so
+	// postponed work from the previous batch is not starved.
+	tasks := make([]Task, 0, len(carried)+len(reqs)*2)
+	tasks = append(tasks, carried...)
+	for _, r := range reqs {
+		for _, si := range pl.ByCluster[r.Cluster] {
+			tasks = append(tasks, Task{Query: r.Query, Cluster: r.Cluster, Slice: si})
+		}
+	}
+
+	// Greedy: each task to the coldest replica DPU.
+	for i := range tasks {
+		t := &tasks[i]
+		s := &pl.Slices[t.Slice]
+		best := -1
+		for _, d := range s.DPUs {
+			if best < 0 || b.Heat[d] < b.Heat[best] {
+				best = d
+			}
+		}
+		t.DPU = best
+		b.Heat[best] += cfg.Cost(s.Count)
+		b.PerDPU[best] = append(b.PerDPU[best], *t)
+	}
+
+	if cfg.Rebalance {
+		rebalance(b, pl, cfg)
+	}
+	if cfg.Th3 > 0 {
+		postpone(b, pl, cfg)
+	}
+	return b
+}
+
+// rebalance repeatedly moves a task off the hottest DPU onto a colder
+// replica while that lowers the predicted maximum.
+func rebalance(b *Batch, pl *layout.Placement, cfg Config) {
+	for iter := 0; iter < 4*pl.NumDPUs; iter++ {
+		hot := argmaxHeat(b.Heat)
+		improved := false
+		tasks := b.PerDPU[hot]
+		for ti := len(tasks) - 1; ti >= 0; ti-- {
+			t := tasks[ti]
+			s := &pl.Slices[t.Slice]
+			cost := cfg.Cost(s.Count)
+			for _, d := range s.DPUs {
+				if d == hot {
+					continue
+				}
+				if b.Heat[d]+cost < b.Heat[hot] {
+					b.PerDPU[hot] = append(tasks[:ti], tasks[ti+1:]...)
+					t.DPU = d
+					b.PerDPU[d] = append(b.PerDPU[d], t)
+					b.Heat[hot] -= cost
+					b.Heat[d] += cost
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// postpone defers the latest tasks of overheated DPUs to the next batch.
+func postpone(b *Batch, pl *layout.Placement, cfg Config) {
+	mean := meanHeat(b.Heat)
+	if mean == 0 {
+		return
+	}
+	limit := cfg.Th3 * mean
+	for d := range b.PerDPU {
+		for b.Heat[d] > limit && len(b.PerDPU[d]) > 1 {
+			tasks := b.PerDPU[d]
+			t := tasks[len(tasks)-1]
+			b.PerDPU[d] = tasks[:len(tasks)-1]
+			cost := cfg.Cost(pl.Slices[t.Slice].Count)
+			b.Heat[d] -= cost
+			t.DPU = -1
+			b.Postponed = append(b.Postponed, t)
+		}
+	}
+	// Deterministic order for the next batch.
+	sort.Slice(b.Postponed, func(i, j int) bool {
+		a, c := b.Postponed[i], b.Postponed[j]
+		if a.Query != c.Query {
+			return a.Query < c.Query
+		}
+		return a.Slice < c.Slice
+	})
+}
+
+func argmaxHeat(heat []float64) int {
+	best := 0
+	for i, h := range heat {
+		if h > heat[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func meanHeat(heat []float64) float64 {
+	var sum float64
+	for _, h := range heat {
+		sum += h
+	}
+	return sum / float64(len(heat))
+}
+
+// MaxHeat returns the hottest DPU's predicted cycles.
+func (b *Batch) MaxHeat() float64 { return b.Heat[argmaxHeat(b.Heat)] }
+
+// TaskCount returns the number of scheduled (non-postponed) tasks.
+func (b *Batch) TaskCount() int {
+	n := 0
+	for _, ts := range b.PerDPU {
+		n += len(ts)
+	}
+	return n
+}
+
+// Profile counts how often each cluster appears in the probe lists of a
+// sample query workload — the offline heat profile that drives the layout
+// optimizer (paper: "heat profiled by random data distribution patterns").
+func Profile(probeLists [][]int32, nClusters int) []float64 {
+	freq := make([]float64, nClusters)
+	for _, probes := range probeLists {
+		for _, c := range probes {
+			freq[c]++
+		}
+	}
+	return freq
+}

@@ -1,0 +1,130 @@
+// Package sqt implements the squaring lookup tables (SQTs) of DRIM-ANN's
+// multiplier-less conversion (paper §3.1). UPMEM DPUs have no hardware
+// multiplier, so a multiplication costs ~32 add-equivalent cycles; the L2
+// kernels only ever square values, so a table indexed by |a-b| replaces each
+// multiplication with one absolute value and one load, losslessly.
+//
+// Two variants exist, matching the paper:
+//
+//   - SQT8: operands are differences of 8-bit-quantized values, so |d| <= 510
+//     and the full table (511 x 4 B ≈ 2 KB) fits in WRAM.
+//   - SQT16: operands are differences of 16-bit-quantized values; the full
+//     table would be 256 KB, far beyond the 64 KB WRAM, so a hot window of
+//     small magnitudes lives in WRAM and the cold remainder in MRAM. Because
+//     squaring operands are residuals, their magnitudes concentrate near
+//     zero, and the hot window absorbs most lookups.
+package sqt
+
+// MaxDiff8 is the largest |a-b| when a and b are differences of two
+// uint8-quantized values (residual minus codebook entry, both in
+// [-255, 255]).
+const MaxDiff8 = 510
+
+// SQT8 is a full squaring table for the 8-bit quantization mode.
+type SQT8 struct {
+	table [MaxDiff8 + 1]uint32
+}
+
+// NewSQT8 builds the full 8-bit-mode squaring table.
+func NewSQT8() *SQT8 {
+	t := &SQT8{}
+	for d := 0; d <= MaxDiff8; d++ {
+		t.table[d] = uint32(d * d)
+	}
+	return t
+}
+
+// Square returns d*d via table lookup. d must be in [-MaxDiff8, MaxDiff8].
+func (t *SQT8) Square(d int32) uint32 {
+	if d < 0 {
+		d = -d
+	}
+	return t.table[d]
+}
+
+// SizeBytes reports the table footprint, which must fit WRAM.
+func (t *SQT8) SizeBytes() int { return len(t.table) * 4 }
+
+// Stats carries hot/cold access counts for the tiered 16-bit table; the
+// memory subsystem of the simulator charges WRAM cost for hits and an MRAM
+// DMA for misses.
+type Stats struct {
+	Hot  uint64 // lookups served from the WRAM-resident window
+	Cold uint64 // lookups that had to touch the MRAM-resident remainder
+}
+
+// SQT16 is the tiered squaring table for the 16-bit quantization mode.
+type SQT16 struct {
+	hot     []uint32 // squares of 0..hotMax-1, WRAM resident
+	hotMax  int32
+	maxDiff int32
+	stats   Stats
+}
+
+// NewSQT16 builds a tiered table. hotEntries is the number of magnitudes
+// resident in WRAM (e.g. 8192 entries = 32 KB); maxDiff bounds the operand
+// domain (for 16-bit quantization differences, up to 131070).
+func NewSQT16(hotEntries int, maxDiff int32) *SQT16 {
+	if hotEntries < 1 {
+		panic("sqt: hotEntries must be >= 1")
+	}
+	if int32(hotEntries) > maxDiff+1 {
+		hotEntries = int(maxDiff + 1)
+	}
+	t := &SQT16{
+		hot:     make([]uint32, hotEntries),
+		hotMax:  int32(hotEntries),
+		maxDiff: maxDiff,
+	}
+	for d := range t.hot {
+		t.hot[d] = uint32(d) * uint32(d)
+	}
+	return t
+}
+
+// Square returns d*d. The boolean reports whether the lookup hit the
+// WRAM-resident hot window; cold lookups are still lossless (the MRAM
+// remainder holds exact squares, modeled here by direct computation) but
+// cost an MRAM access in the simulator.
+func (t *SQT16) Square(d int32) (uint32, bool) {
+	if d < 0 {
+		d = -d
+	}
+	if d > t.maxDiff {
+		panic("sqt: operand outside table domain")
+	}
+	if d < t.hotMax {
+		t.stats.Hot++
+		return t.hot[d], true
+	}
+	t.stats.Cold++
+	return uint32(d) * uint32(d), false
+}
+
+// Stats returns the accumulated hot/cold counters.
+func (t *SQT16) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *SQT16) ResetStats() { t.stats = Stats{} }
+
+// HotSizeBytes reports the WRAM-resident footprint.
+func (t *SQT16) HotSizeBytes() int { return len(t.hot) * 4 }
+
+// ColdSizeBytes reports the MRAM-resident footprint.
+func (t *SQT16) ColdSizeBytes() int {
+	cold := int(t.maxDiff+1) - len(t.hot)
+	if cold < 0 {
+		cold = 0
+	}
+	return cold * 4
+}
+
+// HitRate returns the fraction of lookups served by the hot window, or 1 if
+// no lookups have occurred.
+func (t *SQT16) HitRate() float64 {
+	total := t.stats.Hot + t.stats.Cold
+	if total == 0 {
+		return 1
+	}
+	return float64(t.stats.Hot) / float64(total)
+}

@@ -1,0 +1,214 @@
+// Package topk provides the bounded top-k selection structures used by both
+// the host-side cluster locating phase (float32 distances) and the DPU-side
+// top-k sorting phase (uint32 integer distances): a bounded max-heap that
+// keeps the k smallest items, and a bitonic sorting network mirroring the
+// paper's Figure 1 TS alternatives.
+//
+// Ordering is deterministic everywhere: ties on distance are broken by the
+// smaller ID, so independent engines (CPU reference vs PIM simulation)
+// produce identical result lists and can be compared exactly in tests.
+package topk
+
+import (
+	"cmp"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Item is a candidate neighbor: an ID and its distance to the query.
+type Item[D cmp.Ordered] struct {
+	ID   int32
+	Dist D
+}
+
+// Less imposes the deterministic total order used across the repository:
+// ascending distance, ties broken by ascending ID.
+func Less[D cmp.Ordered](a, b Item[D]) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// Heap is a bounded max-heap holding the k smallest items pushed so far.
+// The zero value is not usable; call NewHeap.
+type Heap[D cmp.Ordered] struct {
+	k     int
+	items []Item[D] // max-heap ordered by Less (root = current worst kept item)
+}
+
+// NewHeap returns a heap retaining the k smallest items. k must be >= 1.
+func NewHeap[D cmp.Ordered](k int) *Heap[D] {
+	if k < 1 {
+		panic("topk: k must be >= 1")
+	}
+	return &Heap[D]{k: k, items: make([]Item[D], 0, k)}
+}
+
+// Len reports how many items are currently held (<= k).
+func (h *Heap[D]) Len() int { return len(h.items) }
+
+// K returns the heap capacity.
+func (h *Heap[D]) K() int { return h.k }
+
+// Full reports whether k items are held, i.e. Threshold is meaningful.
+func (h *Heap[D]) Full() bool { return len(h.items) == h.k }
+
+// Threshold returns the current worst retained item's distance. The boolean
+// is false until the heap is full; until then every push is accepted.
+func (h *Heap[D]) Threshold() (D, bool) {
+	var zero D
+	if !h.Full() {
+		return zero, false
+	}
+	return h.items[0].Dist, true
+}
+
+// WouldAccept reports whether a push with this distance would change the
+// heap. This is the "lock pruning" predicate from the paper's §6: DPU
+// tasklets consult a (possibly stale) threshold before taking the shared
+// top-k lock.
+func (h *Heap[D]) WouldAccept(id int32, dist D) bool {
+	if !h.Full() {
+		return true
+	}
+	return Less(Item[D]{ID: id, Dist: dist}, h.items[0])
+}
+
+// Push offers an item; it returns true if the item was retained.
+func (h *Heap[D]) Push(id int32, dist D) bool {
+	it := Item[D]{ID: id, Dist: dist}
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if !Less(it, h.items[0]) {
+		return false
+	}
+	h.items[0] = it
+	h.siftDown(0)
+	return true
+}
+
+// Reset empties the heap for reuse, keeping capacity.
+func (h *Heap[D]) Reset() { h.items = h.items[:0] }
+
+// Sorted returns the retained items in ascending deterministic order. The
+// heap itself is left untouched.
+func (h *Heap[D]) Sorted() []Item[D] {
+	out := make([]Item[D], len(h.items))
+	copy(out, h.items)
+	SortItems(out)
+	return out
+}
+
+func (h *Heap[D]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !Less(h.items[parent], h.items[i]) {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap[D]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && Less(h.items[largest], h.items[l]) {
+			largest = l
+		}
+		if r < n && Less(h.items[largest], h.items[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+// SortItems sorts items in place into the deterministic ascending order.
+func SortItems[D cmp.Ordered](items []Item[D]) {
+	sort.Slice(items, func(i, j int) bool { return Less(items[i], items[j]) })
+}
+
+// BitonicSort sorts items in place into the deterministic ascending order
+// using a bitonic network, the data-independent alternative the paper lists
+// for the TS phase. Inputs of non-power-of-two length are padded with
+// max-sentinel items that sort to the tail. The returned count is the number
+// of compare-exchange operations a hardware realization would execute (used
+// by the cost model).
+func BitonicSort[D cmp.Ordered](items []Item[D]) int {
+	n := len(items)
+	if n < 2 {
+		return 0
+	}
+	size := 1 << bits.Len(uint(n-1)) // next power of two >= n
+	work := items
+	if size != n {
+		work = make([]Item[D], size)
+		copy(work, items)
+		maxIt := items[0]
+		for _, it := range items[1:] {
+			if Less(maxIt, it) {
+				maxIt = it
+			}
+		}
+		pad := Item[D]{ID: math.MaxInt32, Dist: maxIt.Dist}
+		for i := n; i < size; i++ {
+			work[i] = pad
+		}
+	}
+	swaps := 0
+	for k := 2; k <= size; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < size; i++ {
+				partner := i ^ j
+				if partner <= i {
+					continue
+				}
+				swaps++
+				ascending := i&k == 0
+				if ascending == Less(work[partner], work[i]) {
+					work[i], work[partner] = work[partner], work[i]
+				}
+			}
+		}
+	}
+	if size != n {
+		copy(items, work[:n])
+	}
+	return swaps
+}
+
+// MergeSorted merges two ascending deterministic-order slices into a fresh
+// ascending slice truncated to k items, used when combining per-DPU top-k
+// lists on the host.
+func MergeSorted[D cmp.Ordered](a, b []Item[D], k int) []Item[D] {
+	out := make([]Item[D], 0, min(k, len(a)+len(b)))
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case Less(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// oracle computes the expected top-k by full sort.
+func oracle(items []Item[uint32], k int) []Item[uint32] {
+	cp := make([]Item[uint32], len(items))
+	copy(cp, items)
+	SortItems(cp)
+	if len(cp) > k {
+		cp = cp[:k]
+	}
+	return cp
+}
+
+func equalItems(a, b []Item[uint32]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHeapMatchesSortOracleProperty(t *testing.T) {
+	f := func(dists []uint32, kRaw uint8) bool {
+		k := int(kRaw)%16 + 1
+		items := make([]Item[uint32], len(dists))
+		h := NewHeap[uint32](k)
+		for i, d := range dists {
+			items[i] = Item[uint32]{ID: int32(i), Dist: d}
+			h.Push(int32(i), d)
+		}
+		return equalItems(h.Sorted(), oracle(items, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapTieBreakDeterministic(t *testing.T) {
+	h := NewHeap[uint32](2)
+	h.Push(5, 10)
+	h.Push(3, 10)
+	h.Push(9, 10)
+	got := h.Sorted()
+	if got[0].ID != 3 || got[1].ID != 5 {
+		t.Fatalf("tie-break by ID violated: %v", got)
+	}
+}
+
+func TestHeapThresholdAndWouldAccept(t *testing.T) {
+	h := NewHeap[uint32](2)
+	if _, ok := h.Threshold(); ok {
+		t.Fatal("threshold defined on non-full heap")
+	}
+	if !h.WouldAccept(1, 1<<31) {
+		t.Fatal("non-full heap must accept anything")
+	}
+	h.Push(1, 100)
+	h.Push(2, 200)
+	th, ok := h.Threshold()
+	if !ok || th != 200 {
+		t.Fatalf("threshold = %d,%v want 200,true", th, ok)
+	}
+	if h.WouldAccept(3, 200) {
+		t.Fatal("equal distance with larger ID must be rejected")
+	}
+	if !h.WouldAccept(1, 200) {
+		t.Fatal("equal distance with smaller ID must be accepted")
+	}
+	if !h.WouldAccept(3, 199) {
+		t.Fatal("smaller distance must be accepted")
+	}
+	if h.Push(3, 250) {
+		t.Fatal("push above threshold must be rejected")
+	}
+	if !h.Push(3, 50) {
+		t.Fatal("push below threshold must be accepted")
+	}
+	th, _ = h.Threshold()
+	if th != 100 {
+		t.Fatalf("threshold after eviction = %d, want 100", th)
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap[uint32](3)
+	h.Push(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset did not empty heap")
+	}
+	h.Push(2, 2)
+	if got := h.Sorted(); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("heap unusable after reset: %v", got)
+	}
+}
+
+func TestNewHeapPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewHeap[uint32](0)
+}
+
+func TestBitonicSortMatchesSortProperty(t *testing.T) {
+	f := func(dists []uint32) bool {
+		items := make([]Item[uint32], len(dists))
+		for i, d := range dists {
+			items[i] = Item[uint32]{ID: int32(i), Dist: d}
+		}
+		want := make([]Item[uint32], len(items))
+		copy(want, items)
+		SortItems(want)
+		BitonicSort(items)
+		return equalItems(items, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitonicSortSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 100, 128, 1000} {
+		items := make([]Item[uint32], n)
+		for i := range items {
+			items[i] = Item[uint32]{ID: int32(i), Dist: rng.Uint32() % 64}
+		}
+		want := make([]Item[uint32], n)
+		copy(want, items)
+		SortItems(want)
+		swaps := BitonicSort(items)
+		if !equalItems(items, want) {
+			t.Fatalf("bitonic sort wrong for n=%d", n)
+		}
+		if n >= 2 && swaps <= 0 {
+			t.Fatalf("bitonic sort should report compare-exchanges for n=%d", n)
+		}
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	a := []Item[uint32]{{ID: 1, Dist: 1}, {ID: 4, Dist: 4}}
+	b := []Item[uint32]{{ID: 2, Dist: 2}, {ID: 3, Dist: 3}, {ID: 5, Dist: 5}}
+	got := MergeSorted(a, b, 4)
+	want := []Item[uint32]{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}, {ID: 3, Dist: 3}, {ID: 4, Dist: 4}}
+	if !equalItems(got, want) {
+		t.Fatalf("MergeSorted = %v", got)
+	}
+	if got := MergeSorted(nil, b, 2); len(got) != 2 || got[0].ID != 2 {
+		t.Fatalf("MergeSorted(nil,b) = %v", got)
+	}
+}
+
+func TestMergeSortedMatchesOracleProperty(t *testing.T) {
+	f := func(da, db []uint32, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		a := make([]Item[uint32], len(da))
+		for i, d := range da {
+			a[i] = Item[uint32]{ID: int32(i), Dist: d}
+		}
+		b := make([]Item[uint32], len(db))
+		for i, d := range db {
+			b[i] = Item[uint32]{ID: int32(1000 + i), Dist: d}
+		}
+		SortItems(a)
+		SortItems(b)
+		all := append(append([]Item[uint32]{}, a...), b...)
+		return equalItems(MergeSorted(a, b, k), oracle(all, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapFloat32(t *testing.T) {
+	h := NewHeap[float32](2)
+	h.Push(1, 0.5)
+	h.Push(2, 0.25)
+	h.Push(3, 0.75)
+	got := h.Sorted()
+	if got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("float heap wrong: %v", got)
+	}
+}
+
+func BenchmarkHeapPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dists := make([]uint32, 4096)
+	for i := range dists {
+		dists[i] = rng.Uint32()
+	}
+	h := NewHeap[uint32](10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for j, d := range dists {
+			h.Push(int32(j), d)
+		}
+	}
+}

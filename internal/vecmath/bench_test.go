@@ -1,0 +1,69 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(n int) ([]uint8, []uint8, []float32, []float32) {
+	rng := rand.New(rand.NewSource(1))
+	a8 := make([]uint8, n)
+	b8 := make([]uint8, n)
+	af := make([]float32, n)
+	bf := make([]float32, n)
+	for i := 0; i < n; i++ {
+		a8[i] = uint8(rng.Intn(256))
+		b8[i] = uint8(rng.Intn(256))
+		af[i] = rng.Float32()
+		bf[i] = rng.Float32()
+	}
+	return a8, b8, af, bf
+}
+
+func BenchmarkL2SquaredU8Dim128(b *testing.B) {
+	a8, b8, _, _ := benchVectors(128)
+	b.SetBytes(128)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += L2SquaredU8(a8, b8)
+	}
+	_ = sink
+}
+
+func BenchmarkL2SquaredF32Dim128(b *testing.B) {
+	_, _, af, bf := benchVectors(128)
+	b.SetBytes(128 * 4)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += L2SquaredF32(af, bf)
+	}
+	_ = sink
+}
+
+func BenchmarkADCU32M16(b *testing.B) {
+	lut := make([]uint32, 16*256)
+	for i := range lut {
+		lut[i] = uint32(i)
+	}
+	code := make([]uint16, 16)
+	for i := range code {
+		code[i] = uint16(i * 13 % 256)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = ADCU32(lut, code, 256)
+	}
+}
+
+func BenchmarkArgMinL2F32(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const k, dim = 1024, 128
+	centroids := make([]float32, k*dim)
+	for i := range centroids {
+		centroids[i] = rng.Float32()
+	}
+	query := centroids[:dim]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArgMinL2F32(query, centroids, dim)
+	}
+}

@@ -1,0 +1,235 @@
+// Package vecmath provides the scalar vector kernels shared by every layer of
+// the DRIM-ANN stack: L2 distances in float32 and in the integer domain used
+// by the PIM path, uint8 quantization of float corpora, and asymmetric
+// distance computation (ADC) over product-quantization lookup tables.
+//
+// Vectors are flat slices with an explicit dimension so that large corpora
+// stay contiguous (one allocation for N*D elements).
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// L2SquaredF32 returns the squared Euclidean distance between two float32
+// vectors of equal length.
+func L2SquaredF32(a, b []float32) float32 {
+	_ = b[len(a)-1]
+	var sum float32
+	for i, av := range a {
+		d := av - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// L2SquaredU8 returns the squared Euclidean distance between two uint8
+// vectors of equal length. The result is exact: for dim <= 2^16 the maximum
+// possible sum (dim * 255^2) fits in a uint32.
+func L2SquaredU8(a, b []uint8) uint32 {
+	_ = b[len(a)-1]
+	var sum uint32
+	for i, av := range a {
+		d := int32(av) - int32(b[i])
+		sum += uint32(d * d)
+	}
+	return sum
+}
+
+// L2SquaredI16 returns the squared Euclidean distance between two int16
+// vectors of equal length, as used on the PIM integer path (residual vs
+// quantized codebook entry).
+func L2SquaredI16(a, b []int16) uint32 {
+	_ = b[len(a)-1]
+	var sum uint32
+	for i, av := range a {
+		d := int32(av) - int32(b[i])
+		sum += uint32(d * d)
+	}
+	return sum
+}
+
+// DotF32 returns the inner product of two float32 vectors of equal length.
+func DotF32(a, b []float32) float32 {
+	_ = b[len(a)-1]
+	var sum float32
+	for i, av := range a {
+		sum += av * b[i]
+	}
+	return sum
+}
+
+// NormSquaredF32 returns the squared L2 norm of v.
+func NormSquaredF32(v []float32) float32 {
+	var sum float32
+	for _, x := range v {
+		sum += x * x
+	}
+	return sum
+}
+
+// SubI16 writes a-b into dst in the int16 domain, the residual operation of
+// the PIM path (operands are uint8-quantized so the difference always fits).
+func SubI16(dst []int16, a, b []uint8) {
+	_ = b[len(a)-1]
+	_ = dst[len(a)-1]
+	for i, av := range a {
+		dst[i] = int16(av) - int16(b[i])
+	}
+}
+
+// SubF32 writes a-b into dst.
+func SubF32(dst, a, b []float32) {
+	_ = b[len(a)-1]
+	_ = dst[len(a)-1]
+	for i, av := range a {
+		dst[i] = av - b[i]
+	}
+}
+
+// ArgMinL2F32 scans the flat centroid matrix (k rows of length dim) and
+// returns the row index with the smallest squared L2 distance to query, along
+// with that distance. It panics if centroids is not a multiple of dim or is
+// empty.
+func ArgMinL2F32(query, centroids []float32, dim int) (int, float32) {
+	k := len(centroids) / dim
+	if k == 0 || len(centroids)%dim != 0 {
+		panic(fmt.Sprintf("vecmath: bad centroid matrix len=%d dim=%d", len(centroids), dim))
+	}
+	best, bestDist := 0, float32(math.MaxFloat32)
+	for i := 0; i < k; i++ {
+		d := L2SquaredF32(query, centroids[i*dim:(i+1)*dim])
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist
+}
+
+// Quantizer maps float32 vectors onto the uint8 grid used by the PIM path.
+// Quantization is affine: q = round((x - Bias) / Scale), clamped to [0,255].
+type Quantizer struct {
+	Scale float32 // grid step; > 0
+	Bias  float32 // value represented by code 0
+}
+
+// FitQuantizer derives an affine uint8 quantizer covering the min..max range
+// of the given flat data. A degenerate (constant) input yields Scale 1.
+func FitQuantizer(data []float32) Quantizer {
+	if len(data) == 0 {
+		return Quantizer{Scale: 1}
+	}
+	lo, hi := data[0], data[0]
+	for _, x := range data {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	scale := (hi - lo) / 255
+	if scale <= 0 {
+		scale = 1
+	}
+	return Quantizer{Scale: scale, Bias: lo}
+}
+
+// Encode quantizes one float32 value to its uint8 code.
+func (q Quantizer) Encode(x float32) uint8 {
+	v := math.Round(float64((x - q.Bias) / q.Scale))
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// Decode reconstructs the float32 value of a uint8 code.
+func (q Quantizer) Decode(c uint8) float32 {
+	return q.Bias + float32(c)*q.Scale
+}
+
+// EncodeVec quantizes src into dst (same length).
+func (q Quantizer) EncodeVec(dst []uint8, src []float32) {
+	_ = dst[len(src)-1]
+	for i, x := range src {
+		dst[i] = q.Encode(x)
+	}
+}
+
+// DecodeVec reconstructs src into dst (same length).
+func (q Quantizer) DecodeVec(dst []float32, src []uint8) {
+	_ = dst[len(src)-1]
+	for i, c := range src {
+		dst[i] = q.Decode(c)
+	}
+}
+
+// EncodeAll quantizes a whole flat float32 corpus into a fresh uint8 corpus.
+func (q Quantizer) EncodeAll(src []float32) []uint8 {
+	dst := make([]uint8, len(src))
+	q.EncodeVec(dst, src)
+	return dst
+}
+
+// DecodeAll reconstructs a whole flat uint8 corpus into a fresh float32
+// corpus.
+func (q Quantizer) DecodeAll(src []uint8) []float32 {
+	dst := make([]float32, len(src))
+	q.DecodeVec(dst, src)
+	return dst
+}
+
+// U8ToF32 widens a uint8 vector to float32 without rescaling; used when the
+// corpus is already natively uint8 (e.g. SIFT).
+func U8ToF32(dst []float32, src []uint8) {
+	_ = dst[len(src)-1]
+	for i, c := range src {
+		dst[i] = float32(c)
+	}
+}
+
+// ADCF32 accumulates an asymmetric PQ distance from a float32 lookup table.
+// lut holds M contiguous rows of cb entries; code holds M entries indexing
+// into the corresponding row.
+func ADCF32(lut []float32, code []uint16, cb int) float32 {
+	var sum float32
+	for m, c := range code {
+		sum += lut[m*cb+int(c)]
+	}
+	return sum
+}
+
+// ADCU32 is the integer-domain twin of ADCF32 used on the PIM path.
+func ADCU32(lut []uint32, code []uint16, cb int) uint32 {
+	var sum uint32
+	for m, c := range code {
+		sum += lut[m*cb+int(c)]
+	}
+	return sum
+}
+
+// MeanVec computes the per-dimension mean of a flat corpus with n rows of
+// length dim into a fresh vector.
+func MeanVec(data []float32, dim int) []float32 {
+	n := len(data) / dim
+	mean := make([]float32, dim)
+	if n == 0 {
+		return mean
+	}
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		for j, x := range row {
+			mean[j] += x
+		}
+	}
+	inv := 1 / float32(n)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}

@@ -1,0 +1,254 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestL2SquaredF32Basic(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 6, 3}
+	if got := L2SquaredF32(a, b); got != 25 {
+		t.Fatalf("L2SquaredF32 = %v, want 25", got)
+	}
+	if got := L2SquaredF32(a, a); got != 0 {
+		t.Fatalf("self distance = %v, want 0", got)
+	}
+}
+
+func TestL2SquaredU8Basic(t *testing.T) {
+	a := []uint8{0, 255, 10}
+	b := []uint8{255, 0, 10}
+	want := uint32(2 * 255 * 255)
+	if got := L2SquaredU8(a, b); got != want {
+		t.Fatalf("L2SquaredU8 = %d, want %d", got, want)
+	}
+}
+
+func TestL2SquaredSymmetryProperty(t *testing.T) {
+	f := func(a, b [16]uint8) bool {
+		return L2SquaredU8(a[:], b[:]) == L2SquaredU8(b[:], a[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2SquaredI16MatchesU8(t *testing.T) {
+	// Widening uint8 vectors to int16 must not change the distance.
+	f := func(a, b [8]uint8) bool {
+		ai := make([]int16, 8)
+		bi := make([]int16, 8)
+		for i := range a {
+			ai[i] = int16(a[i])
+			bi[i] = int16(b[i])
+		}
+		return L2SquaredI16(ai, bi) == L2SquaredU8(a[:], b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2NonNegativeAndIdentity(t *testing.T) {
+	f := func(a, b [12]uint8) bool {
+		d := L2SquaredU8(a[:], b[:])
+		if a == b && d != 0 {
+			return false
+		}
+		// d is uint32 so non-negativity is structural; check zero iff equal.
+		if d == 0 {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotF32(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := DotF32(a, b); got != 32 {
+		t.Fatalf("DotF32 = %v, want 32", got)
+	}
+}
+
+func TestNormSquaredF32(t *testing.T) {
+	if got := NormSquaredF32([]float32{3, 4}); got != 25 {
+		t.Fatalf("NormSquaredF32 = %v, want 25", got)
+	}
+}
+
+func TestSubI16(t *testing.T) {
+	a := []uint8{10, 0, 255}
+	b := []uint8{20, 0, 0}
+	dst := make([]int16, 3)
+	SubI16(dst, a, b)
+	want := []int16{-10, 0, 255}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SubI16[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestSubF32(t *testing.T) {
+	dst := make([]float32, 2)
+	SubF32(dst, []float32{5, 1}, []float32{2, 3})
+	if dst[0] != 3 || dst[1] != -2 {
+		t.Fatalf("SubF32 = %v", dst)
+	}
+}
+
+func TestArgMinL2F32(t *testing.T) {
+	centroids := []float32{
+		0, 0,
+		10, 10,
+		3, 4,
+	}
+	idx, d := ArgMinL2F32([]float32{3, 3}, centroids, 2)
+	if idx != 2 {
+		t.Fatalf("ArgMinL2F32 idx = %d, want 2", idx)
+	}
+	if d != 1 {
+		t.Fatalf("ArgMinL2F32 dist = %v, want 1", d)
+	}
+}
+
+func TestArgMinPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged centroid matrix")
+		}
+	}()
+	ArgMinL2F32([]float32{1, 2}, []float32{1, 2, 3}, 2)
+}
+
+func TestQuantizerRoundTripGrid(t *testing.T) {
+	q := Quantizer{Scale: 0.5, Bias: -10}
+	for c := 0; c < 256; c++ {
+		x := q.Decode(uint8(c))
+		if got := q.Encode(x); got != uint8(c) {
+			t.Fatalf("Encode(Decode(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestFitQuantizerCoversRange(t *testing.T) {
+	data := []float32{-1, 0, 2.5, 7}
+	q := FitQuantizer(data)
+	if q.Encode(-1) != 0 {
+		t.Fatalf("min should map to 0, got %d", q.Encode(-1))
+	}
+	if q.Encode(7) != 255 {
+		t.Fatalf("max should map to 255, got %d", q.Encode(7))
+	}
+	// Everything decodes back within one grid step.
+	for _, x := range data {
+		back := q.Decode(q.Encode(x))
+		if diff := math.Abs(float64(back - x)); diff > float64(q.Scale)/2+1e-5 {
+			t.Fatalf("roundtrip error %v for %v (scale %v)", diff, x, q.Scale)
+		}
+	}
+}
+
+func TestFitQuantizerDegenerate(t *testing.T) {
+	q := FitQuantizer([]float32{3, 3, 3})
+	if q.Scale <= 0 {
+		t.Fatalf("degenerate scale must stay positive, got %v", q.Scale)
+	}
+	if q.Encode(3) != 0 {
+		t.Fatalf("constant input should encode to 0")
+	}
+	if FitQuantizer(nil).Scale <= 0 {
+		t.Fatal("empty input must yield a usable quantizer")
+	}
+}
+
+func TestQuantizerClamps(t *testing.T) {
+	q := Quantizer{Scale: 1, Bias: 0}
+	if q.Encode(-5) != 0 {
+		t.Fatal("below-range values must clamp to 0")
+	}
+	if q.Encode(500) != 255 {
+		t.Fatal("above-range values must clamp to 255")
+	}
+}
+
+func TestEncodeDecodeVecAll(t *testing.T) {
+	src := []float32{0, 1, 2, 3}
+	q := FitQuantizer(src)
+	enc := q.EncodeAll(src)
+	dec := q.DecodeAll(enc)
+	for i := range src {
+		if math.Abs(float64(dec[i]-src[i])) > float64(q.Scale)/2+1e-5 {
+			t.Fatalf("EncodeAll/DecodeAll error at %d: %v vs %v", i, dec[i], src[i])
+		}
+	}
+}
+
+func TestU8ToF32(t *testing.T) {
+	dst := make([]float32, 3)
+	U8ToF32(dst, []uint8{0, 128, 255})
+	if dst[0] != 0 || dst[1] != 128 || dst[2] != 255 {
+		t.Fatalf("U8ToF32 = %v", dst)
+	}
+}
+
+func TestADCAccumulators(t *testing.T) {
+	const m, cb = 3, 4
+	lutF := make([]float32, m*cb)
+	lutU := make([]uint32, m*cb)
+	for i := range lutF {
+		lutF[i] = float32(i)
+		lutU[i] = uint32(i)
+	}
+	code := []uint16{1, 3, 0}
+	wantF := lutF[0*cb+1] + lutF[1*cb+3] + lutF[2*cb+0]
+	if got := ADCF32(lutF, code, cb); got != wantF {
+		t.Fatalf("ADCF32 = %v, want %v", got, wantF)
+	}
+	if got := ADCU32(lutU, code, cb); got != uint32(wantF) {
+		t.Fatalf("ADCU32 = %v, want %v", got, uint32(wantF))
+	}
+}
+
+func TestMeanVec(t *testing.T) {
+	data := []float32{0, 2, 4, 6}
+	mean := MeanVec(data, 2)
+	if mean[0] != 2 || mean[1] != 4 {
+		t.Fatalf("MeanVec = %v", mean)
+	}
+	empty := MeanVec(nil, 2)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("MeanVec(nil) = %v", empty)
+	}
+}
+
+func TestQuantizerErrorBoundProperty(t *testing.T) {
+	// For values inside the fitted range the round-trip error is at most
+	// half a grid step (plus float slop).
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(64)
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * 10)
+		}
+		q := FitQuantizer(data)
+		for _, x := range data {
+			back := q.Decode(q.Encode(x))
+			if math.Abs(float64(back-x)) > float64(q.Scale)/2+1e-4 {
+				t.Fatalf("roundtrip error too large: x=%v back=%v scale=%v", x, back, q.Scale)
+			}
+		}
+	}
+}
