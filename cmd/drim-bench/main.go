@@ -1,5 +1,6 @@
 // Command drim-bench regenerates the tables and figures of the DRIM-ANN
-// paper's evaluation (§5) on the simulated UPMEM system.
+// paper's evaluation (§5) on the simulated UPMEM system, and benchmarks the
+// simulator itself.
 //
 // Usage:
 //
@@ -7,6 +8,21 @@
 //	drim-bench -exp F7,F9       # run selected experiments
 //	drim-bench -small           # test-suite scale (seconds)
 //	drim-bench -n 100000 -dpus 128 -queries 1000
+//
+// Self-benchmark mode (-bench) measures the wall-clock throughput of the
+// engine's pipelined execution path against the serial reference path
+// (Workers=1, pipelining off) on a synthetic SIFT-shaped corpus, plus the
+// batched LocateBatch CL stage on its own, and appends the measurements to a
+// JSON trajectory file so successive PRs can track the simulator's own
+// speed:
+//
+//	drim-bench -bench                          # 100k x 128d, 1k queries
+//	drim-bench -bench -n 200000 -queries 2000  # custom scale
+//	drim-bench -bench -benchout BENCH_core.json -benchruns 3
+//
+// Each run appends one entry (timestamp, GOMAXPROCS, scale, serial seconds,
+// pipelined seconds, speedup, wall QPS, simulated QPS, CL QPS). Compare runs
+// with e.g. `jq '.[] | {timestamp, speedup, wall_qps}' BENCH_core.json`.
 package main
 
 import (
@@ -21,15 +37,30 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		small   = flag.Bool("small", false, "use the small (test-suite) scale")
-		n       = flag.Int("n", 0, "override base vectors per dataset")
-		queries = flag.Int("queries", 0, "override query count")
-		dpus    = flag.Int("dpus", 0, "override simulated DPU count")
-		seed    = flag.Int64("seed", 0, "override RNG seed")
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		small     = flag.Bool("small", false, "use the small (test-suite) scale")
+		n         = flag.Int("n", 0, "override base vectors per dataset")
+		queries   = flag.Int("queries", 0, "override query count")
+		dpus      = flag.Int("dpus", 0, "override simulated DPU count")
+		seed      = flag.Int64("seed", 0, "override RNG seed")
+		selfBench = flag.Bool("bench", false, "benchmark the simulator itself (wall clock) instead of running experiments")
+		benchOut  = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench")
+		benchRuns = flag.Int("benchruns", 3, "repetitions per -bench measurement (best is recorded)")
 	)
 	flag.Parse()
+
+	if *selfBench {
+		if *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -small and -exp do not apply to -bench (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runSelfBench(*n, *queries, *dpus, *seed, *benchRuns, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

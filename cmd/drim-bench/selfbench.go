@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/topk"
+)
+
+// benchEntry is one -bench measurement in the BENCH_core.json trajectory.
+type benchEntry struct {
+	Note       string `json:"note,omitempty"`
+	Timestamp  string `json:"timestamp"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	N          int    `json:"n"`
+	D          int    `json:"d"`
+	Queries    int    `json:"queries"`
+	Runs       int    `json:"runs"` // repetitions; best time recorded
+
+	DPUs int `json:"dpus"`
+
+	SerialSec    float64 `json:"serial_seconds"`    // Workers=1, NoPipeline
+	PipelinedSec float64 `json:"pipelined_seconds"` // default options
+	Speedup      float64 `json:"speedup"`
+	WallQPS      float64 `json:"wall_qps"` // pipelined wall-clock throughput
+	SimQPS       float64 `json:"sim_qps"`  // modeled PIM-system throughput
+
+	LocateSec float64 `json:"locate_seconds"` // batched CL stage alone
+	LocateQPS float64 `json:"locate_qps"`
+}
+
+// runSelfBench measures the simulator's own wall-clock speed: the pipelined
+// engine vs the serial reference path on one corpus, plus the batched CL
+// stage, and appends the result to the trajectory file at outPath.
+func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) error {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	if dpus <= 0 {
+		dpus = core.DefaultOptions().NumDPUs
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+
+	fmt.Printf("drim-bench self-benchmark: N=%d queries=%d DPUs=%d GOMAXPROCS=%d runs=%d\n",
+		n, queries, dpus, runtime.GOMAXPROCS(0), runs)
+	s := dataset.SIFT(n, queries, seed)
+	// Training is capped so setup stays in seconds; search-time cost is
+	// unaffected by the training budget.
+	t0 := time.Now()
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       1024,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 4,
+		TrainSample: 8000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
+
+	pipeOpts := core.DefaultOptions()
+	pipeOpts.NumDPUs = dpus
+	serialOpts := pipeOpts
+	serialOpts.Workers = 1
+	serialOpts.NoPipeline = true
+	serial, err := core.New(ix, dataset.U8Set{}, serialOpts)
+	if err != nil {
+		return err
+	}
+	pipelined, err := core.New(ix, dataset.U8Set{}, pipeOpts)
+	if err != nil {
+		return err
+	}
+
+	timeSearch := func(e *core.Engine) (float64, float64, error) {
+		best := -1.0
+		var simQPS float64
+		for r := 0; r < runs; r++ {
+			t := time.Now()
+			res, err := e.SearchBatch(s.Queries)
+			if err != nil {
+				return 0, 0, err
+			}
+			if sec := time.Since(t).Seconds(); best < 0 || sec < best {
+				best = sec
+			}
+			simQPS = res.Metrics.QPS
+		}
+		return best, simQPS, nil
+	}
+
+	serialSec, _, err := timeSearch(serial)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  serial    (Workers=1, no pipeline): %.3fs  (%.0f queries/s)\n",
+		serialSec, float64(queries)/serialSec)
+	pipeSec, simQPS, err := timeSearch(pipelined)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  pipelined (default options):        %.3fs  (%.0f queries/s)  speedup %.2fx\n",
+		pipeSec, float64(queries)/pipeSec, serialSec/pipeSec)
+
+	nprobe := core.DefaultOptions().NProbe
+	out := make([]topk.Item[uint32], queries*nprobe)
+	counts := make([]int, queries)
+	locateSec := -1.0
+	for r := 0; r < runs; r++ {
+		t := time.Now()
+		ix.LocateBatch(s.Queries, 0, queries, nprobe, 0, out, counts)
+		if sec := time.Since(t).Seconds(); locateSec < 0 || sec < locateSec {
+			locateSec = sec
+		}
+	}
+	fmt.Printf("  LocateBatch: %.3fs  (%.0f queries/s)\n", locateSec, float64(queries)/locateSec)
+
+	entry := benchEntry{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N:          n, D: s.Base.D, Queries: queries, Runs: runs,
+		DPUs:         dpus,
+		SerialSec:    serialSec,
+		PipelinedSec: pipeSec,
+		Speedup:      serialSec / pipeSec,
+		WallQPS:      float64(queries) / pipeSec,
+		SimQPS:       simQPS,
+		LocateSec:    locateSec,
+		LocateQPS:    float64(queries) / locateSec,
+	}
+
+	var trajectory []benchEntry
+	raw, err := os.ReadFile(outPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", outPath, err)
+		}
+	case !os.IsNotExist(err):
+		// Never truncate history because the read failed for some other
+		// reason (permissions, IO): surface it instead.
+		return fmt.Errorf("reading %s: %w", outPath, err)
+	}
+	trajectory = append(trajectory, entry)
+	raw, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded entry %d in %s\n", len(trajectory), outPath)
+	return nil
+}

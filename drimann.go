@@ -18,6 +18,19 @@
 //   - an experiment harness regenerating every table and figure of the
 //     paper's evaluation.
 //
+// Execution model: SearchBatch runs as a three-stage pipeline mirroring the
+// paper's host/PIM overlap. Stage 1 (cluster locating) processes a whole
+// query batch across worker goroutines via the batched LocateBatch API;
+// stage 2 schedules the resulting tasks onto DPUs; stage 3 simulates the
+// DPU kernels in parallel and merges on the host. Unless
+// EngineOptions.NoPipeline is set, stage 1 of batch i+1 overlaps stages 2-3
+// of batch i, and all per-launch state (heaps, LUT arenas, task buffers)
+// is pooled, so steady-state searching allocates nothing. Results and
+// metrics are bit-identical between the pipelined and serial paths; only
+// wall-clock speed differs. `drim-bench -bench` records the simulator's
+// own wall-clock throughput into a BENCH_core.json trajectory file for
+// cross-PR comparison.
+//
 // Quick start:
 //
 //	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data

@@ -1,0 +1,3 @@
+module drimann
+
+go 1.24

@@ -8,6 +8,19 @@
 // load-balance-optimized data layout. Every kernel is executed functionally
 // (real answers) while charging cycle/DMA costs to the simulator, so both
 // recall and the performance phenomena are reproduced.
+//
+// The engine itself runs as fast as the host allows, mirroring the overlap
+// the paper models: SearchBatch is a three-stage pipeline (CL -> schedule ->
+// DPU-sim/merge) in which batch i+1's cluster locating runs concurrently
+// with batch i's kernel simulation (Options.NoPipeline restores the serial
+// reference path). Within a launch, each unique (query, cluster) residual
+// and LUT is built exactly once — via an algebraic decomposition that is
+// bit-identical to the SQT kernel but ~6-8x cheaper on the host — shared
+// read-only across the DPUs that scan the cluster, while per-DPU RC/LC
+// costs are still charged as if each DPU ran the kernel privately. All
+// per-launch state (heaps, arenas, task and schedule buffers) is pooled, so
+// the steady-state hot path performs no allocation. The pipelined and
+// serial paths produce bit-identical results and metrics.
 package core
 
 import (
@@ -17,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
@@ -97,6 +111,14 @@ type Options struct {
 	Host upmem.Platform
 
 	Workers int // goroutine parallelism for the simulation itself
+
+	// NoPipeline disables the cross-batch execution pipeline: with it set,
+	// batch i+1's host-side cluster locating waits for batch i's DPU
+	// simulation instead of overlapping with it. Results and metrics are
+	// identical either way (the pipeline only changes wall-clock behavior,
+	// never the simulated SimSeconds = Σ max(host, pim+xfer) accounting);
+	// the flag exists for the serial reference path and determinism tests.
+	NoPipeline bool
 }
 
 // DefaultOptions returns the full DRIM-ANN configuration.
@@ -178,6 +200,68 @@ type Engine struct {
 	// sqt16 holds one tiered table per DPU (kernels run concurrently and
 	// the tables track per-DPU hit statistics); nil without Options.SQT16.
 	sqt16 []*sqt.SQT16
+
+	// lut is the decomposed host-side LUT builder (nil when the per-index
+	// precomputation exceeds its memory budget; the engine then falls back
+	// to direct LUTInt builds). lutScratch holds one per-worker scratch.
+	lut        *ivf.LUTBuilder
+	lutScratch []*ivf.LUTScratch
+
+	// Per-launch reusable state: one kernel scratch per DPU plus the shared
+	// (query, cluster) group store. Together they make the launch hot path
+	// allocation-free after the first batch.
+	scratch []dpuScratch
+	groups  groupStore
+}
+
+// groupKey identifies one unique (query, cluster) pair of a launch.
+type groupKey struct {
+	q int32
+	c int32
+}
+
+// groupStore is the per-launch shared LC state: every unique (query,
+// cluster) group's residual and LUT are built exactly once — fanned across
+// workers — and then read by each DPU that scans a slice of that cluster.
+// Arenas are sized for one group block at a time to bound memory.
+type groupStore struct {
+	keys []groupKey // sorted unique groups of the launch
+	res  []int16    // block arena: residuals, blockGroups x Dim
+	lut  []uint32   // block arena: LUTs, blockGroups x M*CB
+	runs []int32    // query-run boundaries within the current block
+}
+
+// dpuScratch is the reusable per-DPU kernel state: the top-k heap pool, the
+// (query, heap) result list, the per-task group indices, and the launch
+// cursor that lets kernels resume across group blocks.
+type dpuScratch struct {
+	heaps   []*topk.Heap[uint32] // pool, grown on demand, Reset between uses
+	nHeaps  int                  // heaps handed out this launch
+	results []dpuQueryResult     // ascending query order (tasks are sorted)
+	groupIx []int32              // unique-group index per task
+	itemBuf []topk.Item[uint32]  // SortedInto scratch for the host merge
+	stats   dpuRunStats
+
+	// Launch cursor: position in the sorted task list plus the current
+	// (query, cluster) group, preserved across group blocks.
+	taskPos    int
+	curQ, curC int32
+	curHeap    *topk.Heap[uint32]
+}
+
+type dpuQueryResult struct {
+	q int32
+	h *topk.Heap[uint32]
+}
+
+func (sc *dpuScratch) nextHeap(k int) *topk.Heap[uint32] {
+	if sc.nHeaps == len(sc.heaps) {
+		sc.heaps = append(sc.heaps, topk.NewHeap[uint32](k))
+	}
+	h := sc.heaps[sc.nHeaps]
+	sc.nHeaps++
+	h.Reset()
+	return h
 }
 
 // Metrics reports the simulated cost of a SearchBatch call.
@@ -378,6 +462,17 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 			}
 		}
 	}
+
+	// Host-side execution state: the decomposed LUT builder with one scratch
+	// per worker, and the per-DPU kernel scratch reused across launches.
+	e.lut = ix.NewLUTBuilder(opts.Workers)
+	if e.lut != nil {
+		e.lutScratch = make([]*ivf.LUTScratch, opts.Workers)
+		for i := range e.lutScratch {
+			e.lutScratch[i] = e.lut.NewScratch()
+		}
+	}
+	e.scratch = make([]dpuScratch, opts.NumDPUs)
 	return e, nil
 }
 
@@ -441,12 +536,15 @@ func (e *Engine) hostCLSeconds(nq int) float64 {
 	return ops / (lanes * h.FreqGHz * 1e9)
 }
 
-// locate runs the configured CL variant for one query.
-func (e *Engine) locate(query []uint8) []topk.Item[uint32] {
+// locateBatch runs the configured CL variant for queries[lo:hi) across the
+// engine's workers, writing probes into the flat out/counts layout of
+// ivf.Index.LocateBatch. This is the pipeline's first stage.
+func (e *Engine) locateBatch(queries dataset.U8Set, lo, hi int, out []topk.Item[uint32], counts []int) {
 	if e.tree != nil {
-		return e.tree.Locate(e.ix, query, e.opts.NProbe, e.opts.TreeCLBeam)
+		e.tree.LocateBatch(e.ix, queries, lo, hi, e.opts.NProbe, e.opts.TreeCLBeam, e.opts.Workers, out, counts)
+		return
 	}
-	return e.ix.LocateInt(query, e.opts.NProbe)
+	e.ix.LocateBatch(queries, lo, hi, e.opts.NProbe, e.opts.Workers, out, counts)
 }
 
 // hostMergeSeconds models merging per-DPU partial top-k lists on the host.
@@ -463,7 +561,23 @@ func log2ceil(x int) int {
 	return bits.Len(uint(x - 1))
 }
 
+// clBatch is one produced CL stage result: the slice-level requests of the
+// query range [lo, hi).
+type clBatch struct {
+	lo, hi int
+	reqs   []sched.Request
+}
+
 // SearchBatch searches every query and returns neighbors plus metrics.
+//
+// Execution is a three-stage pipeline (paper §3: host CL overlaps the PIM
+// kernels): stage 1 locates clusters for a whole query batch across the
+// engine's workers; stage 2 schedules the resulting tasks; stage 3 runs the
+// DPU kernel simulation and host merge. Unless Options.NoPipeline is set,
+// stage 1 of batch i+1 runs concurrently with stages 2-3 of batch i, so the
+// host CL cost disappears from the wall-clock critical path exactly as the
+// modeled SimSeconds = Σ max(host, pim+xfer) accounting assumes. Results and
+// metrics are bit-identical between the pipelined and serial paths.
 func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	if queries.D != e.ix.Dim {
 		return nil, fmt.Errorf("core: query dim %d != index dim %d", queries.D, e.ix.Dim)
@@ -475,42 +589,87 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	m := &res.Metrics
 	m.Queries = queries.N
 
+	// Query ids are only unique within this call: drop any per-query terms
+	// the LUT scratches cached during a previous SearchBatch.
+	for _, sc := range e.lutScratch {
+		sc.Invalidate()
+	}
+
 	partials := make([][]topk.Item[uint32], queries.N)
+	nBatches := (queries.N + e.opts.BatchSize - 1) / e.opts.BatchSize
+
+	// CL stage: probe storage for one batch plus the request-expansion
+	// closure, owned by whichever goroutine runs the stage.
+	probes := make([]topk.Item[uint32], e.opts.BatchSize*e.opts.NProbe)
+	counts := make([]int, e.opts.BatchSize)
+	runCL := func(lo, hi int, reqs []sched.Request) []sched.Request {
+		e.locateBatch(queries, lo, hi, probes, counts)
+		reqs = reqs[:0]
+		for qi := lo; qi < hi; qi++ {
+			base := (qi - lo) * e.opts.NProbe
+			for _, p := range probes[base : base+counts[qi-lo]] {
+				reqs = append(reqs, sched.Request{Query: int32(qi), Cluster: p.ID})
+			}
+		}
+		return reqs
+	}
+
+	// Pipelined mode: a producer goroutine runs CL one batch ahead, cycling
+	// two request buffers through a free list so steady state allocates
+	// nothing and CL of batch i+1 overlaps the DPU simulation of batch i.
+	var clOut chan clBatch
+	var clFree chan []sched.Request
+	if !e.opts.NoPipeline && nBatches > 1 {
+		clOut = make(chan clBatch, 1)
+		clFree = make(chan []sched.Request, 2)
+		clFree <- nil
+		clFree <- nil
+		go func() {
+			for lo := 0; lo < queries.N; lo += e.opts.BatchSize {
+				hi := lo + e.opts.BatchSize
+				if hi > queries.N {
+					hi = queries.N
+				}
+				clOut <- clBatch{lo: lo, hi: hi, reqs: runCL(lo, hi, <-clFree)}
+			}
+			close(clOut)
+		}()
+	}
 
 	var carried []sched.Task
+	var sb sched.Batch // schedule storage reused across launches
+	var serialReqs []sched.Request
 	scfg := sched.Config{
 		Cost:      func(points int) float64 { return e.taskCostCycles(points) },
 		Th3:       e.opts.Th3,
 		Rebalance: e.opts.Rebalance,
 	}
 
-	for lo := 0; lo < queries.N || len(carried) > 0; lo += e.opts.BatchSize {
+	for bi := 0; bi < nBatches; bi++ {
+		lo := bi * e.opts.BatchSize
 		hi := lo + e.opts.BatchSize
 		if hi > queries.N {
 			hi = queries.N
 		}
-		if hi < lo {
-			hi = lo // pure drain iteration past the last query batch
-		}
-		var reqs []sched.Request
-		if lo < queries.N {
-			for qi := lo; qi < hi; qi++ {
-				for _, p := range e.locate(queries.Vec(qi)) {
-					reqs = append(reqs, sched.Request{Query: int32(qi), Cluster: p.ID})
-				}
-			}
+		var reqs, clBuf []sched.Request
+		if clOut != nil {
+			cb := <-clOut
+			reqs, clBuf = cb.reqs, cb.reqs
+		} else {
+			serialReqs = runCL(lo, hi, serialReqs)
+			reqs = serialReqs
 		}
 		hostSec := e.hostCLSeconds(hi - lo)
 
 		lastBatch := hi >= queries.N
 		var pimPlusXfer float64
 		for {
-			batch := sched.Greedy(reqs, carried, e.pl, scfg)
+			sched.GreedyInto(&sb, reqs, carried, e.pl, scfg)
 			reqs = nil
-			carried = batch.Postponed
-			m.Postponed += len(batch.Postponed)
+			carried = append(carried[:0], sb.Postponed...)
+			m.Postponed += len(sb.Postponed)
 
-			launchSec, mergeItems := e.runLaunch(batch, queries, partials, m)
+			launchSec, mergeItems := e.runLaunch(&sb, queries, partials, m)
 			pimPlusXfer += launchSec
 			hostSec += e.hostMergeSeconds(mergeItems)
 
@@ -519,16 +678,16 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 			}
 			// Final batch: drain postponed tasks with extra launches, but
 			// stop postponing once only carried work remains.
-			if len(carried) > 0 && scfg.Th3 > 0 {
+			if scfg.Th3 > 0 {
 				scfg.Th3 = scfg.Th3 * 2
 			}
+		}
+		if clFree != nil {
+			clFree <- clBuf
 		}
 		m.HostSeconds += hostSec
 		m.SimSeconds += math.Max(hostSec, pimPlusXfer)
 		m.Batches++
-		if hi == lo && len(carried) == 0 {
-			break
-		}
 	}
 
 	// Final per-query merge (already counted in host merge time above).
@@ -551,67 +710,81 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	return res, nil
 }
 
+// groupBlockBudget bounds the shared residual+LUT arena of one launch
+// block; large batches are processed in several blocks so memory stays flat
+// while the per-block LUT builds still fan out across workers.
+const groupBlockBudget = 48 << 20
+
 // runLaunch executes one synchronous DPU launch and returns its wall time
 // max(PIM, transfer) and the number of partial items merged on the host.
+//
+// The launch is staged for wall-clock speed without touching the simulated
+// accounting: (1) every DPU's task list is sorted in parallel; (2) the
+// launch's unique (query, cluster) groups are collected so each residual and
+// LUT is built exactly once — in parallel across workers, block by block —
+// instead of once per DPU touching the cluster; (3) DPU kernels run in
+// parallel over the shared read-only LUTs, charging the per-DPU RC/LC/DC/TS
+// costs exactly as a private build would; (4) results merge deterministically
+// from reusable per-DPU heaps.
 func (e *Engine) runLaunch(batch *sched.Batch, queries dataset.U8Set, partials [][]topk.Item[uint32], m *Metrics) (float64, int) {
 	e.sys.ResetCounters()
 	e.sys.Launch()
 
-	// Host -> DPU: each (query, DPU) pair ships the query vector once.
-	type qd struct {
-		q int32
-		d int
-	}
-	shipped := map[qd]bool{}
-	for d, tasks := range batch.PerDPU {
-		for _, t := range tasks {
-			shipped[qd{t.Query, d}] = true
-		}
-	}
-	e.sys.TransferToDPUs(uint64(len(shipped) * queries.D))
+	// Stage 1: deterministic task order per DPU; reset launch cursors.
+	e.forEachDPU(batch, func(d int) {
+		e.sortTasks(batch.PerDPU[d])
+		sc := &e.scratch[d]
+		sc.results = sc.results[:0]
+		sc.nHeaps = 0
+		sc.stats = dpuRunStats{}
+		sc.taskPos = 0
+		sc.curQ, sc.curC = -1, -1
+		sc.curHeap = nil
+	})
 
-	// Run every DPU's kernel in parallel (simulation-level parallelism).
-	results := make([]map[int32]*topk.Heap[uint32], e.opts.NumDPUs)
-	stats := make([]dpuRunStats, e.opts.NumDPUs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.opts.Workers)
+	// Stage 2: unique groups + per-task group indices + query shipments.
+	// Host -> DPU: each (query, DPU) pair ships the query vector once.
+	shipped := e.collectGroups(batch)
+	e.sys.TransferToDPUs(uint64(shipped * queries.D))
+
+	// Stage 3: build shared residuals/LUTs one block at a time, then let
+	// every DPU consume its tasks whose groups fall inside the block.
+	g := &e.groups
+	blockGroups := groupBlockBudget / (e.ix.M*e.ix.CB*4 + e.ix.Dim*2)
+	if blockGroups < 1 {
+		blockGroups = 1
+	}
+	for gLo := 0; gLo < len(g.keys); gLo += blockGroups {
+		gHi := gLo + blockGroups
+		if gHi > len(g.keys) {
+			gHi = len(g.keys)
+		}
+		e.buildGroups(queries, gLo, gHi)
+		e.forEachDPU(batch, func(d int) {
+			e.runDPUBlock(d, batch.PerDPU[d], gLo, gHi)
+		})
+	}
+
+	// Stage 4: deterministic host merge (DPU order, then query order — the
+	// per-DPU result lists are already query-sorted).
+	mergeItems := 0
+	var fromDev uint64
 	for d := 0; d < e.opts.NumDPUs; d++ {
 		if len(batch.PerDPU[d]) == 0 {
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(d int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[d], stats[d] = e.runDPU(d, batch.PerDPU[d], queries)
-		}(d)
-	}
-	wg.Wait()
-
-	mergeItems := 0
-	var fromDev uint64
-	for d := 0; d < e.opts.NumDPUs; d++ {
-		if results[d] == nil {
-			continue
+		sc := &e.scratch[d]
+		for _, r := range sc.results {
+			sc.itemBuf = r.h.SortedInto(sc.itemBuf)
+			partials[r.q] = append(partials[r.q], sc.itemBuf...)
+			mergeItems += len(sc.itemBuf)
+			fromDev += uint64(len(sc.itemBuf) * 8)
 		}
-		// Deterministic merge order.
-		qids := make([]int32, 0, len(results[d]))
-		for q := range results[d] {
-			qids = append(qids, q)
-		}
-		sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
-		for _, q := range qids {
-			items := results[d][q].Sorted()
-			partials[q] = append(partials[q], items...)
-			mergeItems += len(items)
-			fromDev += uint64(len(items) * 8)
-		}
-		m.LockAcquired += stats[d].lockAcquired
-		m.LockSkipped += stats[d].lockSkipped
-		m.LUTBuilds += stats[d].lutBuilds
-		m.LUTReuses += stats[d].lutReuses
-		m.PointsScanned += stats[d].points
+		m.LockAcquired += sc.stats.lockAcquired
+		m.LockSkipped += sc.stats.lockSkipped
+		m.LUTBuilds += sc.stats.lutBuilds
+		m.LUTReuses += sc.stats.lutReuses
+		m.PointsScanned += sc.stats.points
 	}
 	e.sys.TransferFromDPUs(fromDev)
 
@@ -633,15 +806,52 @@ type dpuRunStats struct {
 	points                    uint64
 }
 
-// runDPU executes the RC/LC/DC/TS kernels for one DPU's task list,
-// functionally and with cost charging. Tasks are grouped by (query, cluster)
-// so the residual and LUT are built once per group and reused across slices
-// of the same cluster on this DPU (the co-location payoff).
-func (e *Engine) runDPU(d int, tasks []sched.Task, queries dataset.U8Set) (map[int32]*topk.Heap[uint32], dpuRunStats) {
-	dpu := e.sys.DPUs[d]
-	ix := e.ix
-	var st dpuRunStats
+// forEachDPU runs f for every DPU with scheduled tasks, fanned across the
+// engine's workers. Each DPU's state is private, so invocation order cannot
+// affect results.
+func (e *Engine) forEachDPU(batch *sched.Batch, f func(d int)) {
+	parallelFor(e.opts.NumDPUs, e.opts.Workers, func(_ int, d int) {
+		if len(batch.PerDPU[d]) > 0 {
+			f(d)
+		}
+	})
+}
 
+// parallelFor runs f(worker, i) for i in [0, n) across up to workers
+// goroutines via an atomic work queue. worker identifies the executing
+// goroutine for per-worker scratch (always 0 when serial).
+func parallelFor(n, workers int, f func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sortTasks orders one DPU's tasks by (query, cluster, slice start) — the
+// deterministic kernel order that makes queries contiguous and groups
+// adjacent.
+func (e *Engine) sortTasks(tasks []sched.Task) {
 	sort.Slice(tasks, func(i, j int) bool {
 		a, b := tasks[i], tasks[j]
 		if a.Query != b.Query {
@@ -650,64 +860,191 @@ func (e *Engine) runDPU(d int, tasks []sched.Task, queries dataset.U8Set) (map[i
 		if a.Cluster != b.Cluster {
 			return a.Cluster < b.Cluster
 		}
-		return pSliceStart(e, a.Slice) < pSliceStart(e, b.Slice)
+		return e.pl.Slices[a.Slice].Start < e.pl.Slices[b.Slice].Start
 	})
+}
 
-	heaps := make(map[int32]*topk.Heap[uint32])
-	residual := make([]int16, ix.Dim)
-	lut := make([]uint32, ix.M*ix.CB)
-
-	var curQ int32 = -1
-	var curC int32 = -1
-	for _, t := range tasks {
-		h := heaps[t.Query]
-		if h == nil {
-			h = topk.NewHeap[uint32](e.opts.K)
-			heaps[t.Query] = h
+// collectGroups gathers the launch's unique (query, cluster) groups into
+// e.groups.keys (sorted), assigns every task its group index, and returns
+// the number of (query, DPU) pairs whose query vector must ship to a DPU.
+// Task lists must already be sorted; the per-DPU group sequences are then
+// ascending, so index assignment is a linear merge against the key list.
+func (e *Engine) collectGroups(batch *sched.Batch) int {
+	g := &e.groups
+	g.keys = g.keys[:0]
+	shipped := 0
+	for d := range batch.PerDPU {
+		prevQ, prevC := int32(-1), int32(-1)
+		for _, t := range batch.PerDPU[d] {
+			if t.Query != prevQ {
+				shipped++
+			}
+			if t.Query != prevQ || t.Cluster != prevC {
+				g.keys = append(g.keys, groupKey{q: t.Query, c: t.Cluster})
+				prevQ, prevC = t.Query, t.Cluster
+			}
 		}
-		if t.Query != curQ || t.Cluster != curC {
-			curQ, curC = t.Query, t.Cluster
-			e.kernelRC(dpu, queries.Vec(int(t.Query)), int(t.Cluster), residual)
-			e.kernelLC(dpu, residual, lut)
-			st.lutBuilds++
+	}
+	sort.Slice(g.keys, func(i, j int) bool {
+		a, b := g.keys[i], g.keys[j]
+		if a.q != b.q {
+			return a.q < b.q
+		}
+		return a.c < b.c
+	})
+	uniq := g.keys[:0]
+	for _, k := range g.keys {
+		if len(uniq) == 0 || k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	g.keys = uniq
+
+	// Per-DPU index assignment is independent (each DPU writes only its own
+	// scratch and reads the shared key list), so fan it out. A DPU's group
+	// sequence is ascending, so each transition binary-searches only the
+	// key tail past the previous hit — O(groups_d * log(groups)) per DPU
+	// rather than a linear rescan of the full key list.
+	e.forEachDPU(batch, func(d int) {
+		tasks := batch.PerDPU[d]
+		sc := &e.scratch[d]
+		if cap(sc.groupIx) < len(tasks) {
+			sc.groupIx = make([]int32, len(tasks))
+		}
+		sc.groupIx = sc.groupIx[:len(tasks)]
+		ki := 0
+		prev := groupKey{q: -1, c: -1}
+		for i, t := range tasks {
+			k := groupKey{q: t.Query, c: t.Cluster}
+			if k != prev {
+				tail := g.keys[ki:]
+				ki += sort.Search(len(tail), func(j int) bool {
+					kj := tail[j]
+					if kj.q != k.q {
+						return kj.q >= k.q
+					}
+					return kj.c >= k.c
+				})
+				prev = k
+			}
+			sc.groupIx[i] = int32(ki)
+		}
+	})
+	return shipped
+}
+
+// buildGroups fills the shared arenas with the residual and LUT of every
+// group in keys[gLo:gHi), building each exactly once. Work is fanned across
+// workers per query run so the decomposed builder amortizes its per-query
+// terms over all clusters the query probes; a per-worker scratch keeps the
+// stage allocation-free. Without the decomposed builder (memory budget
+// exceeded) groups fall back to direct LUTInt builds, still deduplicated.
+func (e *Engine) buildGroups(queries dataset.U8Set, gLo, gHi int) {
+	g := &e.groups
+	ix := e.ix
+	dim, lutLen := ix.Dim, ix.M*ix.CB
+	n := gHi - gLo
+	if n <= 0 {
+		return
+	}
+	if cap(g.res) < n*dim {
+		g.res = make([]int16, n*dim)
+	}
+	if cap(g.lut) < n*lutLen {
+		g.lut = make([]uint32, n*lutLen)
+	}
+
+	// Query runs within the block: keys are (query, cluster)-sorted, so one
+	// run is one query's clusters.
+	g.runs = g.runs[:0]
+	for i := gLo; i < gHi; i++ {
+		if i == gLo || g.keys[i].q != g.keys[i-1].q {
+			g.runs = append(g.runs, int32(i))
+		}
+	}
+	g.runs = append(g.runs, int32(gHi))
+
+	parallelFor(len(g.runs)-1, e.opts.Workers, func(w, ri int) {
+		var sc *ivf.LUTScratch
+		if e.lut != nil {
+			sc = e.lutScratch[w]
+		}
+		for i := int(g.runs[ri]); i < int(g.runs[ri+1]); i++ {
+			k := g.keys[i]
+			query := queries.Vec(int(k.q))
+			res := g.res[(i-gLo)*dim : (i-gLo+1)*dim]
+			lut := g.lut[(i-gLo)*lutLen : (i-gLo+1)*lutLen]
+			vecmath.SubI16(res, query, ix.CentroidU8(int(k.c)))
+			switch {
+			case e.lut != nil:
+				e.lut.Build(k.q, query, int(k.c), lut, sc)
+			case e.opts.UseSQT:
+				ix.IntCB.LUTInt(res, lut, ix.SQT)
+			default:
+				ix.IntCB.LUTIntMul(res, lut)
+			}
+		}
+	})
+}
+
+// runDPUBlock advances one DPU's kernel execution through every task whose
+// group lies in [gLo, gHi): per group it charges the RC and LC kernels, then
+// functionally scans the slice (DC + TS) against the shared LUT. The cursor
+// in the DPU scratch carries the run across blocks of the same launch.
+func (e *Engine) runDPUBlock(d int, tasks []sched.Task, gLo, gHi int) {
+	sc := &e.scratch[d]
+	dpu := e.sys.DPUs[d]
+	ix := e.ix
+	dim, lutLen := ix.Dim, ix.M*ix.CB
+	for sc.taskPos < len(tasks) {
+		gi := int(sc.groupIx[sc.taskPos])
+		if gi >= gHi {
+			return
+		}
+		t := tasks[sc.taskPos]
+		sc.taskPos++
+		if t.Query != sc.curQ {
+			sc.curHeap = sc.nextHeap(e.opts.K)
+			sc.results = append(sc.results, dpuQueryResult{q: t.Query, h: sc.curHeap})
+		}
+		res := e.groups.res[(gi-gLo)*dim : (gi-gLo+1)*dim]
+		lut := e.groups.lut[(gi-gLo)*lutLen : (gi-gLo+1)*lutLen]
+		if t.Query != sc.curQ || t.Cluster != sc.curC {
+			sc.curQ, sc.curC = t.Query, t.Cluster
+			e.chargeRC(dpu)
+			e.chargeLC(dpu, res)
+			sc.stats.lutBuilds++
 		} else {
-			st.lutReuses++
+			sc.stats.lutReuses++
 		}
 		s := &e.pl.Slices[t.Slice]
 		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
 		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
-		e.kernelDCTS(dpu, lut, ids, codes, h, &st)
+		e.kernelDCTS(dpu, lut, ids, codes, sc.curHeap, &sc.stats)
 	}
-	return heaps, st
 }
 
-func pSliceStart(e *Engine, slice int) int { return e.pl.Slices[slice].Start }
-
-// kernelRC computes the int16 residual between query and centroid (paper
-// Equations 4-5): D subtractions plus centroid DMA from MRAM.
-func (e *Engine) kernelRC(dpu *upmem.DPU, query []uint8, cluster int, residual []int16) {
-	ix := e.ix
-	vecmath.SubI16(residual, query, ix.CentroidU8(cluster))
-
-	n := uint64(ix.Dim)
+// chargeRC accounts the residual-calculation kernel (paper Equations 4-5):
+// D subtractions plus centroid DMA from MRAM. The residual value itself is
+// computed once per group in buildGroups; every DPU running the group is
+// still charged as if it ran the kernel privately, as the hardware would.
+func (e *Engine) chargeRC(dpu *upmem.DPU) {
+	n := uint64(e.ix.Dim)
 	dpu.Charge(upmem.PhaseRC, upmem.OpLoad, 2*n)
 	dpu.Charge(upmem.PhaseRC, upmem.OpAdd, n)
 	dpu.Charge(upmem.PhaseRC, upmem.OpStore, n)
-	dpu.DMA(upmem.PhaseRC, uint64(ix.Dim)) // centroid bytes (uint8)
+	dpu.DMA(upmem.PhaseRC, n) // centroid bytes (uint8)
 }
 
-// kernelLC builds the distance LUT (Equations 6-7). With UseSQT each square
-// is |a-b| + one table load; without it each square is a 32-cycle multiply.
-// The codebook streams from MRAM; LUT stores hit WRAM when buffered,
-// otherwise they become slow-path MRAM traffic.
-func (e *Engine) kernelLC(dpu *upmem.DPU, residual []int16, lut []uint32) {
+// chargeLC accounts the LUT-construction kernel (Equations 6-7). With
+// UseSQT each square is |a-b| + one table load; without it each square is a
+// 32-cycle multiply. The codebook streams from MRAM; LUT stores hit WRAM
+// when buffered, otherwise they become slow-path MRAM traffic. The LUT
+// values are built once per group in buildGroups; costs are still charged
+// per DPU. residual is the group's residual, needed to replay the SQT16
+// diff stream against this DPU's tiered table.
+func (e *Engine) chargeLC(dpu *upmem.DPU, residual []int16) {
 	ix := e.ix
-	if e.opts.UseSQT {
-		ix.IntCB.LUTInt(residual, lut, ix.SQT)
-	} else {
-		ix.IntCB.LUTIntMul(residual, lut)
-	}
-
 	elems := uint64(ix.CB * ix.Dim) // M * CB * dsub
 	entries := uint64(ix.M * ix.CB)
 	dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // subtraction per element
@@ -716,18 +1053,15 @@ func (e *Engine) kernelLC(dpu *upmem.DPU, residual []int16, lut []uint32) {
 	switch {
 	case e.opts.UseSQT && e.sqt16 != nil:
 		// Tiered 16-bit-mode table: replay the actual |diff| stream against
-		// the hot window; cold lookups pay an MRAM access each.
+		// the hot window, one subquantizer row at a time; cold lookups pay
+		// an MRAM access each.
 		tab := e.sqt16[dpu.ID]
+		dsub := ix.Dim / ix.M
 		var cold uint64
 		for m := 0; m < ix.M; m++ {
-			sub := residual[m*(ix.Dim/ix.M) : (m+1)*(ix.Dim/ix.M)]
+			sub := residual[m*dsub : (m+1)*dsub]
 			for c := 0; c < ix.CB; c++ {
-				entry := ix.IntCB.Entry(m, c)
-				for j, r := range sub {
-					if _, hot := tab.Square(int32(r) - int32(entry[j])); !hot {
-						cold++
-					}
-				}
+				cold += tab.CountColdRow(sub, ix.IntCB.Entry(m, c))
 			}
 		}
 		dpu.Charge(upmem.PhaseLC, upmem.OpAdd, elems)  // abs

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"drimann/internal/dataset"
+)
+
+// TestPipelineDeterminismMatchesSerial is the ISSUE-1 determinism guarantee:
+// the pipelined, worker-parallel execution path returns byte-identical
+// results and identical metrics (every counter, every modeled second) to a
+// Workers=1, pipelining-off run. The pipeline may only change wall-clock
+// behavior, never what is computed.
+func TestPipelineDeterminismMatchesSerial(t *testing.T) {
+	f := getFixture(t)
+
+	pip := testOptions()
+	pip.Workers = 4 // force real concurrency in every stage
+	ser := testOptions()
+	ser.Workers = 1
+	ser.NoPipeline = true
+
+	ePip, err := New(f.ix, dataset.U8Set{}, pip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSer, err := New(f.ix, dataset.U8Set{}, ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPip, err := ePip.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSer, err := eSer.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for qi := range rPip.IDs {
+		if len(rPip.IDs[qi]) != len(rSer.IDs[qi]) {
+			t.Fatalf("query %d: %d ids vs %d serial", qi, len(rPip.IDs[qi]), len(rSer.IDs[qi]))
+		}
+		for j := range rPip.IDs[qi] {
+			if rPip.IDs[qi][j] != rSer.IDs[qi][j] {
+				t.Fatalf("query %d id %d: pipelined %d != serial %d",
+					qi, j, rPip.IDs[qi][j], rSer.IDs[qi][j])
+			}
+			if rPip.Items[qi][j] != rSer.Items[qi][j] {
+				t.Fatalf("query %d item %d: pipelined %+v != serial %+v",
+					qi, j, rPip.Items[qi][j], rSer.Items[qi][j])
+			}
+		}
+	}
+	if rPip.Metrics != rSer.Metrics {
+		t.Fatalf("metrics diverge:\npipelined: %+v\nserial:    %+v", rPip.Metrics, rSer.Metrics)
+	}
+	if rPip.Metrics.LUTBuilds == 0 || rPip.Metrics.LockAcquired == 0 || rPip.Metrics.PointsScanned == 0 {
+		t.Fatalf("degenerate run: %+v", rPip.Metrics)
+	}
+}
+
+// TestEngineReuseAcrossSearchBatches pins the LUT-scratch invalidation: a
+// reused engine must answer a second, different query set exactly, even
+// though in-batch query ids collide with the previous call's (the per-query
+// decomposition cache must not leak across calls).
+func TestEngineReuseAcrossSearchBatches(t *testing.T) {
+	f := getFixture(t)
+	e, err := New(f.ix, dataset.U8Set{}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-query batches are the sharpest collision: both calls use query
+	// id 0 for different vectors, so a stale per-query LUT cache is hit
+	// immediately.
+	for qi := 0; qi < 4; qi++ {
+		one := dataset.U8Set{N: 1, D: f.s.Queries.D,
+			Data: f.s.Queries.Vec(qi)}
+		res, err := e.SearchBatch(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.ix.SearchInt(one.Vec(0), e.opts.NProbe, e.opts.K)
+		for j := range want {
+			if res.Items[0][j] != want[j] {
+				t.Fatalf("single-query call %d leaked state: %+v != %+v", qi, res.Items[0][j], want[j])
+			}
+		}
+	}
+
+	if _, err := e.SearchBatch(f.s.Queries); err != nil {
+		t.Fatal(err)
+	}
+	// Second full call: the same queries reversed, so query id i is a
+	// different vector than in the first call.
+	rev := dataset.U8Set{N: f.s.Queries.N, D: f.s.Queries.D,
+		Data: make([]uint8, len(f.s.Queries.Data))}
+	for qi := 0; qi < rev.N; qi++ {
+		copy(rev.Data[qi*rev.D:(qi+1)*rev.D], f.s.Queries.Vec(rev.N-1-qi))
+	}
+	res, err := e.SearchBatch(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < rev.N; qi++ {
+		want := f.ix.SearchInt(rev.Vec(qi), e.opts.NProbe, e.opts.K)
+		got := res.Items[qi]
+		if len(got) != len(want) {
+			t.Fatalf("reused engine query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("reused engine leaked state at query %d: %+v != %+v", qi, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPipelinedDrainDeliversPostponedTasks pins the drain path: with an
+// aggressive overheat threshold and small batches, the final batch carries
+// postponed tasks into extra launches (the Th3-doubling loop), and the
+// pipelined path must still deliver every query's exact top-k.
+func TestPipelinedDrainDeliversPostponedTasks(t *testing.T) {
+	f := getFixture(t)
+	o := testOptions()
+	o.Th3 = 1.01     // postpone on the slightest overheat
+	o.BatchSize = 16 // several batches, so carried work crosses batches
+	e, err := New(f.ix, dataset.U8Set{}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SearchBatch(f.s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Postponed == 0 {
+		t.Fatal("scenario produced no postponement; tighten Th3")
+	}
+	if res.Metrics.Launches <= res.Metrics.Batches {
+		t.Fatalf("drain should add launches beyond batches: %d launches, %d batches",
+			res.Metrics.Launches, res.Metrics.Batches)
+	}
+	for qi := 0; qi < f.s.Queries.N; qi++ {
+		want := f.ix.SearchInt(f.s.Queries.Vec(qi), o.NProbe, o.K)
+		got := res.Items[qi]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("drain lost work at query %d: %+v != %+v", qi, got[j], want[j])
+			}
+		}
+	}
+}

@@ -243,13 +243,76 @@ func (ix *Index) Locate(query []float32, nprobe int) []topk.Item[float32] {
 // matching the PIM engine's host-side CL.
 func (ix *Index) LocateInt(query []uint8, nprobe int) []topk.Item[uint32] {
 	h := topk.NewHeap[uint32](nprobe)
+	ix.locateIntInto(query, h)
+	return h.Sorted()
+}
+
+// locateIntInto fills h (which must be empty) with the h.K() nearest
+// centroids to query under the integer metric.
+func (ix *Index) locateIntInto(query []uint8, h *topk.Heap[uint32]) {
 	for c := 0; c < ix.NList; c++ {
 		d := vecmath.L2SquaredU8(query, ix.CentroidU8(c))
 		if h.WouldAccept(int32(c), d) {
 			h.Push(int32(c), d)
 		}
 	}
-	return h.Sorted()
+}
+
+// forEachQueryChunk partitions the query range [lo, hi) into contiguous
+// chunks across workers goroutines (0 = GOMAXPROCS) and calls f with each
+// chunk's bounds. It is the shared scaffold of the batched CL stages.
+func forEachQueryChunk(lo, hi, workers int, f func(wlo, whi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(lo, hi)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo, whi := lo+w*chunk, lo+(w+1)*chunk
+		if whi > hi {
+			whi = hi
+		}
+		if wlo >= whi {
+			continue
+		}
+		wg.Add(1)
+		go func(wlo, whi int) {
+			defer wg.Done()
+			f(wlo, whi)
+		}(wlo, whi)
+	}
+	wg.Wait()
+}
+
+// LocateBatch performs integer-path cluster locating for queries[lo:hi),
+// fanned across workers goroutines (0 = GOMAXPROCS). Query qi's probes are
+// written, in ascending distance order, into
+// out[(qi-lo)*nprobe : (qi-lo)*nprobe+counts[qi-lo]], so out must hold
+// (hi-lo)*nprobe items and counts hi-lo entries. Results are identical to
+// per-query LocateInt calls, but the batch shares one heap per worker and
+// performs no per-query allocation — this is the engine's pipelined CL stage.
+func (ix *Index) LocateBatch(queries dataset.U8Set, lo, hi, nprobe, workers int, out []topk.Item[uint32], counts []int) {
+	forEachQueryChunk(lo, hi, workers, func(wlo, whi int) {
+		h := topk.NewHeap[uint32](nprobe)
+		for qi := wlo; qi < whi; qi++ {
+			h.Reset()
+			ix.locateIntInto(queries.Vec(qi), h)
+			base := (qi - lo) * nprobe
+			dst := out[base : base : base+nprobe]
+			counts[qi-lo] = len(h.SortedInto(dst))
+		}
+	})
 }
 
 // Search runs the float path (Faiss-IVFADC-like) for one uint8 query.

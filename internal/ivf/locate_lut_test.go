@@ -1,0 +1,145 @@
+package ivf
+
+import (
+	"math/rand"
+	"testing"
+
+	"drimann/internal/dataset"
+	"drimann/internal/pq"
+	"drimann/internal/topk"
+)
+
+func locateFixture(t *testing.T) (*Index, *dataset.Synth) {
+	t.Helper()
+	s := dataset.Generate(dataset.SynthConfig{
+		N: 4000, D: 32, NumQueries: 70, NumClusters: 24, Seed: 11, Noise: 10,
+	})
+	ix, err := Build(s.Base, BuildConfig{
+		NList: 40, PQ: pq.Config{M: 8, CB: 32}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, s
+}
+
+// TestLocateBatchMatchesLocateInt: the batched, worker-parallel CL stage
+// must reproduce per-query LocateInt exactly, for any worker count and any
+// subrange.
+func TestLocateBatchMatchesLocateInt(t *testing.T) {
+	ix, s := locateFixture(t)
+	const nprobe = 12
+	for _, workers := range []int{0, 1, 3} {
+		for _, span := range [][2]int{{0, s.Queries.N}, {5, 29}, {63, 70}} {
+			lo, hi := span[0], span[1]
+			out := make([]topk.Item[uint32], (hi-lo)*nprobe)
+			counts := make([]int, hi-lo)
+			ix.LocateBatch(s.Queries, lo, hi, nprobe, workers, out, counts)
+			for qi := lo; qi < hi; qi++ {
+				want := ix.LocateInt(s.Queries.Vec(qi), nprobe)
+				got := out[(qi-lo)*nprobe : (qi-lo)*nprobe+counts[qi-lo]]
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d query %d: %d probes, want %d", workers, qi, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("workers=%d query %d probe %d: %+v != %+v", workers, qi, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTreeCLLocateBatchMatchesLocate: same contract for the tree locator.
+func TestTreeCLLocateBatchMatchesLocate(t *testing.T) {
+	ix, s := locateFixture(t)
+	tree, err := ix.BuildTreeCL(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nprobe, beam = 10, 3
+	for _, workers := range []int{1, 4} {
+		out := make([]topk.Item[uint32], s.Queries.N*nprobe)
+		counts := make([]int, s.Queries.N)
+		tree.LocateBatch(ix, s.Queries, 0, s.Queries.N, nprobe, beam, workers, out, counts)
+		for qi := 0; qi < s.Queries.N; qi++ {
+			want := tree.Locate(ix, s.Queries.Vec(qi), nprobe, beam)
+			got := out[qi*nprobe : qi*nprobe+counts[qi]]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d query %d: %d probes, want %d", workers, qi, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("workers=%d query %d probe %d: %+v != %+v", workers, qi, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLUTBuilderBitExact: the decomposed builder must agree entry-for-entry
+// with both the SQT path and the multiplication path for every (query,
+// cluster) pair — the invariant that lets the engine swap it in without
+// perturbing a single search result.
+func TestLUTBuilderBitExact(t *testing.T) {
+	ix, s := locateFixture(t)
+	lb := ix.NewLUTBuilder(2)
+	if lb == nil {
+		t.Fatal("builder unexpectedly over budget")
+	}
+	sc := lb.NewScratch()
+	n := ix.M * ix.CB
+	got := make([]uint32, n)
+	wantSQT := make([]uint32, n)
+	wantMul := make([]uint32, n)
+	res := make([]int16, ix.Dim)
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		qi := rng.Intn(s.Queries.N)
+		c := rng.Intn(ix.NList)
+		q := s.Queries.Vec(qi)
+		lb.Build(int32(qi), q, c, got, sc)
+		subI16(res, q, ix.CentroidU8(c))
+		ix.IntCB.LUTInt(res, wantSQT, ix.SQT)
+		ix.IntCB.LUTIntMul(res, wantMul)
+		for i := range got {
+			if got[i] != wantSQT[i] || got[i] != wantMul[i] {
+				t.Fatalf("trial %d (q=%d c=%d) entry %d: builder %d, SQT %d, mul %d",
+					trial, qi, c, i, got[i], wantSQT[i], wantMul[i])
+			}
+		}
+	}
+}
+
+// subI16 mirrors vecmath.SubI16 locally to keep the test self-describing.
+func subI16(dst []int16, a []uint8, b []uint8) {
+	for i := range dst {
+		dst[i] = int16(a[i]) - int16(b[i])
+	}
+}
+
+// TestLUTBuilderScratchReuseAcrossQueries guards the per-query caching: a
+// scratch must produce correct LUTs when alternating between queries (cache
+// invalidation on qid change).
+func TestLUTBuilderScratchReuseAcrossQueries(t *testing.T) {
+	ix, s := locateFixture(t)
+	lb := ix.NewLUTBuilder(0)
+	sc := lb.NewScratch()
+	got := make([]uint32, ix.M*ix.CB)
+	want := make([]uint32, ix.M*ix.CB)
+	res := make([]int16, ix.Dim)
+	order := []struct{ q, c int }{{0, 1}, {0, 2}, {1, 1}, {0, 1}, {1, 3}}
+	for _, oc := range order {
+		q := s.Queries.Vec(oc.q)
+		lb.Build(int32(oc.q), q, oc.c, got, sc)
+		subI16(res, q, ix.CentroidU8(oc.c))
+		ix.IntCB.LUTInt(res, want, ix.SQT)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("(q=%d c=%d) entry %d: %d != %d", oc.q, oc.c, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package ivf
+
+import (
+	"sync"
+)
+
+// LUTBuilder is the wall-clock-optimized host implementation of the LC
+// kernel: it produces distance LUTs bit-identical to IntCodebooks.LUTInt /
+// LUTIntMul while doing ~6-8x less arithmetic per (query, cluster) pair.
+//
+// It exploits the algebraic decomposition of the squared distance between a
+// residual subvector r = q - c and a codebook entry e:
+//
+//	Σ_j (q_j - c_j - e_j)²  =  [Σ q_j² - 2 Σ q_j c_j]  (per query+cluster, Dim ops)
+//	                         + [Σ (c_j + e_j)²]        (per cluster, precomputed)
+//	                         - 2 [Σ q_j e_j]           (per query, amortized over clusters)
+//
+// The middle term is a per-index table built once at engine deployment; the
+// last term is computed once per query and reused for every cluster that
+// query probes in a launch. Only the simulator's *functional* computation
+// changes — the DPU cost model still charges the paper's multiplier-less SQT
+// kernel (Equations 6-7), which is unaffected by how the host obtains the
+// bit-identical LUT values.
+//
+// All arithmetic is int32-exact: operands are bounded by |c_j + e_j| <= 510
+// and dsub <= 4096, keeping every partial sum far below overflow.
+type LUTBuilder struct {
+	ix   *Index
+	dsub int
+	// b[(c*M+m)*CB+e] = Σ_j (centroid_c[m*dsub+j] + entry_{m,e}[j])², laid
+	// out so one (query, cluster) build streams it exactly like the LUT.
+	b []int32
+}
+
+// lutBuilderBudgetBytes caps the precomputed table; past it (huge NList*CB
+// products) callers fall back to direct LUTInt construction.
+const lutBuilderBudgetBytes = 512 << 20
+
+// NewLUTBuilder precomputes the per-cluster term across workers goroutines
+// (0 = serial). It returns nil when the table would exceed the memory
+// budget; callers must then use IntCodebooks.LUTInt directly.
+func (ix *Index) NewLUTBuilder(workers int) *LUTBuilder {
+	m, cb := ix.M, ix.CB
+	dsub := ix.Dim / m
+	entries := ix.NList * m * cb
+	if entries <= 0 || entries > lutBuilderBudgetBytes/4 {
+		return nil
+	}
+	lb := &LUTBuilder{ix: ix, dsub: dsub, b: make([]int32, entries)}
+	if workers <= 1 {
+		for c := 0; c < ix.NList; c++ {
+			lb.fillCluster(c)
+		}
+		return lb
+	}
+	var wg sync.WaitGroup
+	chunk := (ix.NList + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > ix.NList {
+			hi = ix.NList
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for c := lo; c < hi; c++ {
+				lb.fillCluster(c)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return lb
+}
+
+func (lb *LUTBuilder) fillCluster(c int) {
+	ix, m, cb, dsub := lb.ix, lb.ix.M, lb.ix.CB, lb.dsub
+	cent := ix.CentroidU8(c)
+	for mi := 0; mi < m; mi++ {
+		csub := cent[mi*dsub : (mi+1)*dsub]
+		rows := ix.IntCB.Data[mi*cb*dsub : (mi+1)*cb*dsub]
+		out := lb.b[(c*m+mi)*cb : (c*m+mi+1)*cb]
+		for e := range out {
+			row := rows[e*dsub : (e+1)*dsub : (e+1)*dsub]
+			var s int32
+			for j, cv := range csub {
+				t := int32(cv) + int32(row[j])
+				s += t * t
+			}
+			out[e] = s
+		}
+	}
+}
+
+// LUTScratch carries the per-query terms of the decomposition. One scratch
+// serves one goroutine; reusing it across consecutive clusters of the same
+// query (matched by qid) is where the amortization comes from.
+type LUTScratch struct {
+	qid int32   // query the cached terms belong to; -1 = none
+	a   []int32 // M: Σ_j q_j² per subspace
+	qe  []int32 // M*CB: Σ_j q_j * entry_j
+}
+
+// NewScratch returns an empty per-goroutine scratch.
+func (lb *LUTBuilder) NewScratch() *LUTScratch {
+	return &LUTScratch{
+		qid: -1,
+		a:   make([]int32, lb.ix.M),
+		qe:  make([]int32, lb.ix.M*lb.ix.CB),
+	}
+}
+
+// Invalidate drops the cached per-query terms. Callers that reuse scratches
+// across searches MUST invalidate between them: qids are only unique within
+// one search, so a stale cache would silently serve another query's terms.
+func (sc *LUTScratch) Invalidate() { sc.qid = -1 }
+
+// Build fills lut (length M*CB) with exactly the values LUTInt would produce
+// for residual query-centroid(cluster). qid identifies the query for scratch
+// reuse; callers must pass a stable id per distinct query vector.
+func (lb *LUTBuilder) Build(qid int32, query []uint8, cluster int, lut []uint32, sc *LUTScratch) {
+	ix, m, cb, dsub := lb.ix, lb.ix.M, lb.ix.CB, lb.dsub
+	if sc.qid != qid {
+		sc.qid = qid
+		for mi := 0; mi < m; mi++ {
+			sub := query[mi*dsub : (mi+1)*dsub]
+			var a int32
+			for _, q := range sub {
+				a += int32(q) * int32(q)
+			}
+			sc.a[mi] = a
+			rows := ix.IntCB.Data[mi*cb*dsub : (mi+1)*cb*dsub]
+			out := sc.qe[mi*cb : (mi+1)*cb]
+			for e := range out {
+				row := rows[e*dsub : (e+1)*dsub : (e+1)*dsub]
+				var s int32
+				for j, q := range sub {
+					s += int32(q) * int32(row[j])
+				}
+				out[e] = s
+			}
+		}
+	}
+	cent := ix.CentroidU8(cluster)
+	bCluster := lb.b[cluster*m*cb : (cluster+1)*m*cb]
+	for mi := 0; mi < m; mi++ {
+		sub := query[mi*dsub : (mi+1)*dsub]
+		csub := cent[mi*dsub : (mi+1)*dsub]
+		var qc int32
+		for j, q := range sub {
+			qc += int32(q) * int32(csub[j])
+		}
+		p := sc.a[mi] - 2*qc
+		qe := sc.qe[mi*cb : (mi+1)*cb : (mi+1)*cb]
+		bb := bCluster[mi*cb : (mi+1)*cb : (mi+1)*cb]
+		out := lut[mi*cb : (mi+1)*cb]
+		for e := range out {
+			out[e] = uint32(p + bb[e] - 2*qe[e])
+		}
+	}
+}

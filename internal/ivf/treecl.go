@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"drimann/internal/dataset"
 	"drimann/internal/kmeans"
 	"drimann/internal/topk"
 	"drimann/internal/vecmath"
@@ -49,33 +50,82 @@ func (ix *Index) BuildTreeCL(branch int, seed int64) (*TreeCL, error) {
 // beam best upper nodes. beam trades CL cost for probe quality; a beam of
 // ~sqrt(branch) is a reasonable default (0 uses that).
 func (t *TreeCL) Locate(ix *Index, query []uint8, nprobe, beam int) []topk.Item[uint32] {
+	sc := newTreeScratch(t, nprobe, beam)
+	t.locateInto(ix, query, sc)
+	return sc.h.Sorted()
+}
+
+// treeScratch is the per-worker reusable state of one tree descent: the
+// widened query, the upper-layer beam heap and its sorted view, and the
+// leaf-layer probe heap.
+type treeScratch struct {
+	beam  int
+	qf    []float32
+	upper *topk.Heap[float32]
+	ubuf  []topk.Item[float32]
+	h     *topk.Heap[uint32]
+}
+
+func (t *TreeCL) effectiveBeam(beam int) int {
 	if beam <= 0 {
 		beam = int(math.Sqrt(float64(t.Branch))) + 1
 	}
 	if beam > t.Branch {
 		beam = t.Branch
 	}
-	qf := make([]float32, t.Dim)
-	vecmath.U8ToF32(qf, query)
+	return beam
+}
 
-	upper := topk.NewHeap[float32](beam)
+func newTreeScratch(t *TreeCL, nprobe, beam int) *treeScratch {
+	beam = t.effectiveBeam(beam)
+	return &treeScratch{
+		beam:  beam,
+		qf:    make([]float32, t.Dim),
+		upper: topk.NewHeap[float32](beam),
+		ubuf:  make([]topk.Item[float32], 0, beam),
+		h:     topk.NewHeap[uint32](nprobe),
+	}
+}
+
+// locateInto runs one descent, leaving the probes in sc.h.
+func (t *TreeCL) locateInto(ix *Index, query []uint8, sc *treeScratch) {
+	vecmath.U8ToF32(sc.qf, query)
+
+	sc.upper.Reset()
 	for b := 0; b < t.Branch; b++ {
-		d := vecmath.L2SquaredF32(qf, t.Upper[b*t.Dim:(b+1)*t.Dim])
-		if upper.WouldAccept(int32(b), d) {
-			upper.Push(int32(b), d)
+		d := vecmath.L2SquaredF32(sc.qf, t.Upper[b*t.Dim:(b+1)*t.Dim])
+		if sc.upper.WouldAccept(int32(b), d) {
+			sc.upper.Push(int32(b), d)
 		}
 	}
 
-	h := topk.NewHeap[uint32](nprobe)
-	for _, un := range upper.Sorted() {
+	sc.h.Reset()
+	sc.ubuf = sc.upper.SortedInto(sc.ubuf)
+	for _, un := range sc.ubuf {
 		for _, c := range t.Children[un.ID] {
 			d := vecmath.L2SquaredU8(query, ix.CentroidU8(int(c)))
-			if h.WouldAccept(c, d) {
-				h.Push(c, d)
+			if sc.h.WouldAccept(c, d) {
+				sc.h.Push(c, d)
 			}
 		}
 	}
-	return h.Sorted()
+}
+
+// LocateBatch is the tree locator's batched CL stage: probes for
+// queries[lo:hi) are computed across workers goroutines (0 = GOMAXPROCS) and
+// written into the same flat layout as Index.LocateBatch. Results are
+// identical to per-query Locate calls; each worker reuses one descent
+// scratch, so no per-query allocation occurs.
+func (t *TreeCL) LocateBatch(ix *Index, queries dataset.U8Set, lo, hi, nprobe, beam, workers int, out []topk.Item[uint32], counts []int) {
+	forEachQueryChunk(lo, hi, workers, func(wlo, whi int) {
+		sc := newTreeScratch(t, nprobe, beam)
+		for qi := wlo; qi < whi; qi++ {
+			t.locateInto(ix, queries.Vec(qi), sc)
+			base := (qi - lo) * nprobe
+			dst := out[base : base : base+nprobe]
+			counts[qi-lo] = len(sc.h.SortedInto(dst))
+		}
+	})
 }
 
 // CentroidsScanned reports how many distance computations one Locate costs

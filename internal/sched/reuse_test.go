@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"drimann/internal/layout"
+)
+
+// reusePlacement builds a small placement with duplicated slices so both the
+// greedy pass and the rebalance/postpone paths have real work to do.
+func reusePlacement(t *testing.T) *layout.Placement {
+	t.Helper()
+	sizes := []int{400, 300, 200, 100, 80, 60}
+	freq := []float64{10, 8, 6, 4, 2, 1}
+	pl, err := layout.Optimize(sizes, freq, layout.Config{
+		NumDPUs: 4, BytesPerPoint: 20, MRAMDataBudget: 1 << 20,
+		CopyFootprint: 4 << 10, WRAMMetaBudget: 1 << 10,
+		HeatWeight: 0.5, EnableSplit: true, EnableDup: true, EnableBalance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestGreedyIntoReusesStorage: scheduling into a recycled Batch must produce
+// exactly what a fresh Greedy call produces, for several rounds, so the
+// engine can run its whole launch loop on one Batch.
+func TestGreedyIntoReusesStorage(t *testing.T) {
+	pl := reusePlacement(t)
+	cfg := Config{Th3: 1.2, Rebalance: true}
+
+	var reused Batch
+	var carried []Task
+	for round := 0; round < 4; round++ {
+		var reqs []Request
+		for q := 0; q < 12+round; q++ {
+			for c := 0; c < len(pl.ByCluster); c += 1 + (q+round)%3 {
+				reqs = append(reqs, Request{Query: int32(q), Cluster: int32(c)})
+			}
+		}
+		fresh := Greedy(reqs, carried, pl, cfg)
+		GreedyInto(&reused, reqs, carried, pl, cfg)
+
+		if !reflect.DeepEqual(fresh.PerDPU, reused.PerDPU) {
+			t.Fatalf("round %d: PerDPU diverges", round)
+		}
+		if !reflect.DeepEqual(fresh.Heat, reused.Heat) {
+			t.Fatalf("round %d: Heat diverges: %v vs %v", round, fresh.Heat, reused.Heat)
+		}
+		if len(fresh.Postponed) != len(reused.Postponed) ||
+			(len(fresh.Postponed) > 0 && !reflect.DeepEqual(fresh.Postponed, reused.Postponed)) {
+			t.Fatalf("round %d: Postponed diverges", round)
+		}
+		// Next round carries the postponed tasks, copied out because the
+		// reused batch's Postponed slice is recycled by GreedyInto.
+		carried = append(carried[:0], fresh.Postponed...)
+	}
+}

@@ -40,32 +40,57 @@ type Config struct {
 	Rebalance bool
 }
 
-// Batch is the result of scheduling one query batch.
+// Batch is the result of scheduling one query batch. A Batch can be reused
+// across GreedyInto calls: its slices are truncated and refilled rather than
+// reallocated, which keeps the per-launch scheduling path allocation-free.
 type Batch struct {
 	PerDPU    [][]Task  // tasks per DPU
 	Postponed []Task    // deferred to the next batch (already slice-level)
 	Heat      []float64 // predicted cycles per DPU
+
+	scratch []Task // reused task-expansion buffer
 }
 
 // Greedy schedules requests (plus carried-over tasks) onto DPUs.
 func Greedy(reqs []Request, carried []Task, pl *layout.Placement, cfg Config) *Batch {
+	b := &Batch{}
+	GreedyInto(b, reqs, carried, pl, cfg)
+	return b
+}
+
+// GreedyInto is Greedy with caller-owned storage: b's slices are reset and
+// refilled in place (grown only when capacity is insufficient), so a batch
+// loop that reuses one Batch performs no steady-state allocation. carried
+// must not alias b.Postponed from the same Batch — copy it out first.
+func GreedyInto(b *Batch, reqs []Request, carried []Task, pl *layout.Placement, cfg Config) {
 	if cfg.Cost == nil {
 		cfg.Cost = func(points int) float64 { return float64(points) }
 	}
-	b := &Batch{
-		PerDPU: make([][]Task, pl.NumDPUs),
-		Heat:   make([]float64, pl.NumDPUs),
+	if cap(b.PerDPU) < pl.NumDPUs {
+		b.PerDPU = make([][]Task, pl.NumDPUs)
 	}
+	b.PerDPU = b.PerDPU[:pl.NumDPUs]
+	for d := range b.PerDPU {
+		b.PerDPU[d] = b.PerDPU[d][:0]
+	}
+	if cap(b.Heat) < pl.NumDPUs {
+		b.Heat = make([]float64, pl.NumDPUs)
+	}
+	b.Heat = b.Heat[:pl.NumDPUs]
+	for d := range b.Heat {
+		b.Heat[d] = 0
+	}
+	b.Postponed = b.Postponed[:0]
 
 	// Expand requests into slice-level tasks; carried tasks come first so
 	// postponed work from the previous batch is not starved.
-	tasks := make([]Task, 0, len(carried)+len(reqs)*2)
-	tasks = append(tasks, carried...)
+	tasks := append(b.scratch[:0], carried...)
 	for _, r := range reqs {
 		for _, si := range pl.ByCluster[r.Cluster] {
 			tasks = append(tasks, Task{Query: r.Query, Cluster: r.Cluster, Slice: si})
 		}
 	}
+	b.scratch = tasks
 
 	// Greedy: each task to the coldest replica DPU.
 	for i := range tasks {
@@ -88,7 +113,6 @@ func Greedy(reqs []Request, carried []Task, pl *layout.Placement, cfg Config) *B
 	if cfg.Th3 > 0 {
 		postpone(b, pl, cfg)
 	}
-	return b
 }
 
 // rebalance repeatedly moves a task off the hottest DPU onto a colder

@@ -1,0 +1,89 @@
+package sqt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountColdRowMatchesSquare: the batched replay must leave exactly the
+// same hot/cold statistics (and report the same cold count) as calling
+// Square per element.
+func TestCountColdRowMatchesSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		hot := 1 + rng.Intn(300)
+		n := 1 + rng.Intn(64)
+		res := make([]int16, n)
+		entry := make([]int16, n)
+		for j := range res {
+			res[j] = int16(rng.Intn(511) - 255)
+			entry[j] = int16(rng.Intn(511) - 255)
+		}
+
+		ref := NewSQT16(hot, MaxDiff8)
+		var wantCold uint64
+		for j := range res {
+			if _, isHot := ref.Square(int32(res[j]) - int32(entry[j])); !isHot {
+				wantCold++
+			}
+		}
+
+		batched := NewSQT16(hot, MaxDiff8)
+		gotCold := batched.CountColdRow(res, entry)
+		if gotCold != wantCold {
+			t.Fatalf("trial %d: cold %d, want %d", trial, gotCold, wantCold)
+		}
+		if batched.Stats() != ref.Stats() {
+			t.Fatalf("trial %d: stats %+v, want %+v", trial, batched.Stats(), ref.Stats())
+		}
+	}
+}
+
+func TestCountColdRowPanicsOutsideDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for operand outside table domain")
+		}
+	}()
+	tab := NewSQT16(16, 100)
+	tab.CountColdRow([]int16{200}, []int16{-200})
+}
+
+// The ISSUE-1 satellite micro-benchmark: replaying the per-subquantizer-row
+// diff stream in one batched call vs. one Square call per element. The
+// engine's LC cost replay runs this stream M x CB times per LUT build, so
+// the per-element overhead (function call, tier branch, two counter
+// read-modify-writes) is hot.
+
+func replayFixture() (*SQT16, []int16, []int16) {
+	rng := rand.New(rand.NewSource(7))
+	res := make([]int16, 8)
+	entry := make([]int16, 8)
+	for j := range res {
+		res[j] = int16(rng.Intn(101) - 50) // concentrated, like real residuals
+		entry[j] = int16(rng.Intn(511) - 255)
+	}
+	return NewSQT16(8192, MaxDiff8), res, entry
+}
+
+func BenchmarkSQT16ReplayPerElement(b *testing.B) {
+	tab, res, entry := replayFixture()
+	var cold uint64
+	for i := 0; i < b.N; i++ {
+		for j := range res {
+			if _, hot := tab.Square(int32(res[j]) - int32(entry[j])); !hot {
+				cold++
+			}
+		}
+	}
+	_ = cold
+}
+
+func BenchmarkSQT16ReplayRow(b *testing.B) {
+	tab, res, entry := replayFixture()
+	var cold uint64
+	for i := 0; i < b.N; i++ {
+		cold += tab.CountColdRow(res, entry)
+	}
+	_ = cold
+}

@@ -101,6 +101,34 @@ func (t *SQT16) Square(d int32) (uint32, bool) {
 	return uint32(d) * uint32(d), false
 }
 
+// CountColdRow replays the |res[j]-entry[j]| diff stream of one codebook row
+// against the tiered table, accumulating hot/cold statistics once per row
+// instead of once per element, and returns the number of cold (MRAM-tier)
+// lookups. It is the batched twin of calling Square per element: the counters
+// end up identical, but the per-element closure of (abs, tier test, counter
+// read-modify-write) collapses into a branchless scan, which matters because
+// the engine replays the full M x CB x dsub stream per LUT build. res and
+// entry must have equal length.
+func (t *SQT16) CountColdRow(res, entry []int16) uint64 {
+	var cold uint64
+	hotMax, maxDiff := t.hotMax, t.maxDiff
+	for j, r := range res {
+		d := int32(r) - int32(entry[j])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			panic("sqt: operand outside table domain")
+		}
+		if d >= hotMax {
+			cold++
+		}
+	}
+	t.stats.Hot += uint64(len(res)) - cold
+	t.stats.Cold += cold
+	return cold
+}
+
 // Stats returns the accumulated hot/cold counters.
 func (t *SQT16) Stats() Stats { return t.stats }
 

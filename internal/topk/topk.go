@@ -104,6 +104,16 @@ func (h *Heap[D]) Sorted() []Item[D] {
 	return out
 }
 
+// SortedInto writes the retained items into dst (reusing its capacity, which
+// is grown only when insufficient) in ascending deterministic order and
+// returns the filled slice. The heap itself is left untouched. This is the
+// allocation-free twin of Sorted for hot paths that drain many heaps.
+func (h *Heap[D]) SortedInto(dst []Item[D]) []Item[D] {
+	dst = append(dst[:0], h.items...)
+	SortItems(dst)
+	return dst
+}
+
 func (h *Heap[D]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

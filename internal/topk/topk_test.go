@@ -210,3 +210,38 @@ func BenchmarkHeapPush(b *testing.B) {
 		}
 	}
 }
+
+func TestSortedInto(t *testing.T) {
+	h := NewHeap[uint32](5)
+	for _, v := range []uint32{9, 3, 7, 1, 5, 8, 2} {
+		if h.WouldAccept(int32(v), v) {
+			h.Push(int32(v), v)
+		}
+	}
+	want := h.Sorted()
+
+	// Nil destination, too-small destination, oversized destination: all
+	// must return the same ascending list, reusing capacity when possible.
+	for _, dst := range [][]Item[uint32]{nil, make([]Item[uint32], 0, 2), make([]Item[uint32], 9)} {
+		got := h.SortedInto(dst)
+		if len(got) != len(want) {
+			t.Fatalf("len %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("item %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Reuse must not allocate once capacity suffices.
+	buf := make([]Item[uint32], 0, h.Len())
+	out := h.SortedInto(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("SortedInto reallocated despite sufficient capacity")
+	}
+	// Heap is untouched.
+	if h.Len() != len(want) {
+		t.Fatal("SortedInto mutated the heap")
+	}
+}
