@@ -12,17 +12,22 @@
 // Self-benchmark mode (-bench) measures the wall-clock throughput of the
 // engine's pipelined execution path against the serial reference path
 // (Workers=1, pipelining off) on a synthetic SIFT-shaped corpus, plus the
-// batched LocateBatch CL stage on its own, and appends the measurements to a
-// JSON trajectory file so successive PRs can track the simulator's own
-// speed:
+// batched LocateBatch CL stage on its own. It sweeps GOMAXPROCS (1 and
+// NumCPU by default; -benchprocs overrides, e.g. -benchprocs 1,4,max) and
+// appends one entry per value to a JSON trajectory file so successive PRs
+// can track both the simulator's own speed and its multi-core scaling:
 //
 //	drim-bench -bench                          # 100k x 128d, 1k queries
 //	drim-bench -bench -n 200000 -queries 2000  # custom scale
-//	drim-bench -bench -benchout BENCH_core.json -benchruns 3
+//	drim-bench -bench -benchout BENCH_core.json -benchruns 3 -benchprocs 1,max
 //
-// Each run appends one entry (timestamp, GOMAXPROCS, scale, serial seconds,
-// pipelined seconds, speedup, wall QPS, simulated QPS, CL QPS). Compare runs
-// with e.g. `jq '.[] | {timestamp, speedup, wall_qps}' BENCH_core.json`.
+// Each entry records the fixture shape, serial and pipelined seconds, the
+// explicit speedup_vs_serial (pipelined vs the same build's serial mode) and
+// speedup_vs_prev_entry (vs the most recent earlier entry with the same
+// fixture shape and GOMAXPROCS — the cross-PR improvement), wall/simulated
+// QPS and the CL stage cost; see the benchEntry schema in selfbench.go.
+// Compare runs with e.g.
+// `jq '.[] | {timestamp, go_max_procs, speedup_vs_prev_entry, wall_qps}' BENCH_core.json`.
 package main
 
 import (
@@ -37,16 +42,18 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		small     = flag.Bool("small", false, "use the small (test-suite) scale")
-		n         = flag.Int("n", 0, "override base vectors per dataset")
-		queries   = flag.Int("queries", 0, "override query count")
-		dpus      = flag.Int("dpus", 0, "override simulated DPU count")
-		seed      = flag.Int64("seed", 0, "override RNG seed")
-		selfBench = flag.Bool("bench", false, "benchmark the simulator itself (wall clock) instead of running experiments")
-		benchOut  = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench")
-		benchRuns = flag.Int("benchruns", 3, "repetitions per -bench measurement (best is recorded)")
+		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all); see -list")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		small      = flag.Bool("small", false, "use the small (test-suite) scale")
+		n          = flag.Int("n", 0, "override base vectors per dataset")
+		queries    = flag.Int("queries", 0, "override query count")
+		dpus       = flag.Int("dpus", 0, "override simulated DPU count")
+		seed       = flag.Int64("seed", 0, "override RNG seed")
+		selfBench  = flag.Bool("bench", false, "benchmark the simulator itself (wall clock) instead of running experiments")
+		benchOut   = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench")
+		benchRuns  = flag.Int("benchruns", 3, "repetitions per -bench measurement (best is recorded)")
+		benchProcs = flag.String("benchprocs", "1,max", "comma-separated GOMAXPROCS sweep for -bench (max = NumCPU)")
+		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench")
 	)
 	flag.Parse()
 
@@ -55,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "drim-bench: -small and -exp do not apply to -bench (use -n/-queries/-dpus)")
 			os.Exit(2)
 		}
-		if err := runSelfBench(*n, *queries, *dpus, *seed, *benchRuns, *benchOut); err != nil {
+		if err := runSelfBench(*n, *queries, *dpus, *seed, *benchRuns, *benchProcs, *benchNote, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"drimann/internal/core"
@@ -15,31 +17,93 @@ import (
 )
 
 // benchEntry is one -bench measurement in the BENCH_core.json trajectory.
+// The file is an append-only JSON array of these entries, one per (run,
+// GOMAXPROCS) pair, so successive PRs can track the simulator's own
+// wall-clock speed and multi-core scaling. Schema:
 type benchEntry struct {
-	Note       string `json:"note,omitempty"`
-	Timestamp  string `json:"timestamp"`
-	GoMaxProcs int    `json:"go_max_procs"`
-	N          int    `json:"n"`
-	D          int    `json:"d"`
-	Queries    int    `json:"queries"`
-	Runs       int    `json:"runs"` // repetitions; best time recorded
+	// Note is free-form context for the entry (what changed in this PR).
+	Note string `json:"note,omitempty"`
+	// Timestamp is the measurement time (RFC 3339, UTC).
+	Timestamp string `json:"timestamp"`
+	// GoMaxProcs is the GOMAXPROCS the measurement ran under; -bench sweeps
+	// (1, NumCPU) by default so single-core and multi-core scaling are both
+	// recorded (override with -benchprocs).
+	GoMaxProcs int `json:"go_max_procs"`
+	// N/D/Queries identify the fixture; Runs is the repetition count (the
+	// best time of Runs is recorded); DPUs the simulated system size.
+	N       int `json:"n"`
+	D       int `json:"d"`
+	Queries int `json:"queries"`
+	Runs    int `json:"runs"`
+	DPUs    int `json:"dpus"`
 
-	DPUs int `json:"dpus"`
+	// SerialSec is the serial reference path (Workers=1, NoPipeline);
+	// PipelinedSec the default engine. Both are wall-clock seconds for the
+	// full query set.
+	SerialSec    float64 `json:"serial_seconds"`
+	PipelinedSec float64 `json:"pipelined_seconds"`
 
-	SerialSec    float64 `json:"serial_seconds"`    // Workers=1, NoPipeline
-	PipelinedSec float64 `json:"pipelined_seconds"` // default options
-	Speedup      float64 `json:"speedup"`
-	WallQPS      float64 `json:"wall_qps"` // pipelined wall-clock throughput
-	SimQPS       float64 `json:"sim_qps"`  // modeled PIM-system throughput
+	// SpeedupVsSerial = serial_seconds / pipelined_seconds: the engine's
+	// pipelined path against its own serial mode in the same build (≈1 on a
+	// single hardware thread, where pipelining cannot help). Omitted on
+	// legacy pre-PR-2 entries, which recorded it in Speedup.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// SpeedupVsPrev = previous pipelined_seconds / this pipelined_seconds,
+	// against the most recent earlier entry with the same fixture shape and
+	// GOMAXPROCS — the cross-PR improvement on this phase. Omitted when no
+	// comparable entry exists.
+	SpeedupVsPrev float64 `json:"speedup_vs_prev_entry,omitempty"`
+	// Speedup is the legacy pre-PR-2 field (same value as
+	// speedup_vs_serial); kept so old entries round-trip unchanged.
+	Speedup float64 `json:"speedup,omitempty"`
 
-	LocateSec float64 `json:"locate_seconds"` // batched CL stage alone
+	// WallQPS is pipelined wall-clock throughput; SimQPS the modeled
+	// PIM-system throughput (unaffected by host speed).
+	WallQPS float64 `json:"wall_qps"`
+	SimQPS  float64 `json:"sim_qps"`
+
+	// LocateSec/LocateQPS measure the batched CL stage alone.
+	LocateSec float64 `json:"locate_seconds"`
 	LocateQPS float64 `json:"locate_qps"`
 }
 
-// runSelfBench measures the simulator's own wall-clock speed: the pipelined
-// engine vs the serial reference path on one corpus, plus the batched CL
-// stage, and appends the result to the trajectory file at outPath.
-func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) error {
+// parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
+// sweep, where "max" (or 0) means NumCPU. Duplicates collapse.
+func parseProcsList(spec string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p := 0
+		if f != "max" {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad -benchprocs element %q", f)
+			}
+			p = v
+		}
+		if p == 0 {
+			p = runtime.NumCPU()
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-benchprocs is empty")
+	}
+	return out, nil
+}
+
+// runSelfBench measures the simulator's own wall-clock speed — the pipelined
+// engine vs the serial reference path plus the batched CL stage alone — once
+// per GOMAXPROCS value in the sweep, and appends one entry per value to the
+// trajectory file at outPath.
+func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, outPath string) error {
 	if n <= 0 {
 		n = 100000
 	}
@@ -55,9 +119,13 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) er
 	if runs <= 0 {
 		runs = 1
 	}
+	procs, err := parseProcsList(procsSpec)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("drim-bench self-benchmark: N=%d queries=%d DPUs=%d GOMAXPROCS=%d runs=%d\n",
-		n, queries, dpus, runtime.GOMAXPROCS(0), runs)
+	fmt.Printf("drim-bench self-benchmark: N=%d queries=%d DPUs=%d procs=%v runs=%d\n",
+		n, queries, dpus, procs, runs)
 	s := dataset.SIFT(n, queries, seed)
 	// Training is capped so setup stays in seconds; search-time cost is
 	// unaffected by the training budget.
@@ -74,77 +142,6 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) er
 	}
 	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
 
-	pipeOpts := core.DefaultOptions()
-	pipeOpts.NumDPUs = dpus
-	serialOpts := pipeOpts
-	serialOpts.Workers = 1
-	serialOpts.NoPipeline = true
-	serial, err := core.New(ix, dataset.U8Set{}, serialOpts)
-	if err != nil {
-		return err
-	}
-	pipelined, err := core.New(ix, dataset.U8Set{}, pipeOpts)
-	if err != nil {
-		return err
-	}
-
-	timeSearch := func(e *core.Engine) (float64, float64, error) {
-		best := -1.0
-		var simQPS float64
-		for r := 0; r < runs; r++ {
-			t := time.Now()
-			res, err := e.SearchBatch(s.Queries)
-			if err != nil {
-				return 0, 0, err
-			}
-			if sec := time.Since(t).Seconds(); best < 0 || sec < best {
-				best = sec
-			}
-			simQPS = res.Metrics.QPS
-		}
-		return best, simQPS, nil
-	}
-
-	serialSec, _, err := timeSearch(serial)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  serial    (Workers=1, no pipeline): %.3fs  (%.0f queries/s)\n",
-		serialSec, float64(queries)/serialSec)
-	pipeSec, simQPS, err := timeSearch(pipelined)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  pipelined (default options):        %.3fs  (%.0f queries/s)  speedup %.2fx\n",
-		pipeSec, float64(queries)/pipeSec, serialSec/pipeSec)
-
-	nprobe := core.DefaultOptions().NProbe
-	out := make([]topk.Item[uint32], queries*nprobe)
-	counts := make([]int, queries)
-	locateSec := -1.0
-	for r := 0; r < runs; r++ {
-		t := time.Now()
-		ix.LocateBatch(s.Queries, 0, queries, nprobe, 0, out, counts)
-		if sec := time.Since(t).Seconds(); locateSec < 0 || sec < locateSec {
-			locateSec = sec
-		}
-	}
-	fmt.Printf("  LocateBatch: %.3fs  (%.0f queries/s)\n", locateSec, float64(queries)/locateSec)
-
-	entry := benchEntry{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		N:          n, D: s.Base.D, Queries: queries, Runs: runs,
-		DPUs:         dpus,
-		SerialSec:    serialSec,
-		PipelinedSec: pipeSec,
-		Speedup:      serialSec / pipeSec,
-		WallQPS:      float64(queries) / pipeSec,
-		SimQPS:       simQPS,
-		LocateSec:    locateSec,
-		LocateQPS:    float64(queries) / locateSec,
-	}
-
 	var trajectory []benchEntry
 	raw, err := os.ReadFile(outPath)
 	switch {
@@ -157,7 +154,94 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) er
 		// reason (permissions, IO): surface it instead.
 		return fmt.Errorf("reading %s: %w", outPath, err)
 	}
-	trajectory = append(trajectory, entry)
+	// Cross-PR comparisons only look at entries that existed before this
+	// invocation, so a sweep never compares against itself.
+	prior := trajectory
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0)) // restore on exit
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fmt.Printf("  GOMAXPROCS=%d\n", p)
+
+		pipeOpts := core.DefaultOptions()
+		pipeOpts.NumDPUs = dpus
+		pipeOpts.Workers = p
+		serialOpts := pipeOpts
+		serialOpts.Workers = 1
+		serialOpts.NoPipeline = true
+		serial, err := core.New(ix, dataset.U8Set{}, serialOpts)
+		if err != nil {
+			return err
+		}
+		pipelined, err := core.New(ix, dataset.U8Set{}, pipeOpts)
+		if err != nil {
+			return err
+		}
+
+		timeSearch := func(e *core.Engine) (float64, float64, error) {
+			best := -1.0
+			var simQPS float64
+			for r := 0; r < runs; r++ {
+				t := time.Now()
+				res, err := e.SearchBatch(s.Queries)
+				if err != nil {
+					return 0, 0, err
+				}
+				if sec := time.Since(t).Seconds(); best < 0 || sec < best {
+					best = sec
+				}
+				simQPS = res.Metrics.QPS
+			}
+			return best, simQPS, nil
+		}
+
+		serialSec, _, err := timeSearch(serial)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    serial    (Workers=1, no pipeline): %.3fs  (%.0f queries/s)\n",
+			serialSec, float64(queries)/serialSec)
+		pipeSec, simQPS, err := timeSearch(pipelined)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    pipelined (default options):        %.3fs  (%.0f queries/s)  vs serial %.2fx\n",
+			pipeSec, float64(queries)/pipeSec, serialSec/pipeSec)
+
+		nprobe := core.DefaultOptions().NProbe
+		out := make([]topk.Item[uint32], queries*nprobe)
+		counts := make([]int, queries)
+		locateSec := -1.0
+		for r := 0; r < runs; r++ {
+			t := time.Now()
+			ix.LocateBatch(s.Queries, 0, queries, nprobe, 0, out, counts)
+			if sec := time.Since(t).Seconds(); locateSec < 0 || sec < locateSec {
+				locateSec = sec
+			}
+		}
+		fmt.Printf("    LocateBatch: %.3fs  (%.0f queries/s)\n", locateSec, float64(queries)/locateSec)
+
+		entry := benchEntry{
+			Note:       note,
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: p,
+			N:          n, D: s.Base.D, Queries: queries, Runs: runs,
+			DPUs:            dpus,
+			SerialSec:       serialSec,
+			PipelinedSec:    pipeSec,
+			SpeedupVsSerial: serialSec / pipeSec,
+			WallQPS:         float64(queries) / pipeSec,
+			SimQPS:          simQPS,
+			LocateSec:       locateSec,
+			LocateQPS:       float64(queries) / locateSec,
+		}
+		if prev := lastComparable(prior, entry); prev != nil && pipeSec > 0 {
+			entry.SpeedupVsPrev = prev.PipelinedSec / pipeSec
+			fmt.Printf("    vs previous entry (%s): %.2fx\n", prev.Timestamp, entry.SpeedupVsPrev)
+		}
+		trajectory = append(trajectory, entry)
+	}
+
 	raw, err = json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
 		return err
@@ -165,6 +249,20 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, outPath string) er
 	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("  recorded entry %d in %s\n", len(trajectory), outPath)
+	fmt.Printf("  recorded %d entr%s in %s (total %d)\n",
+		len(procs), map[bool]string{true: "y", false: "ies"}[len(procs) == 1], outPath, len(trajectory))
+	return nil
+}
+
+// lastComparable returns the most recent prior entry measuring the same
+// fixture shape at the same GOMAXPROCS, or nil.
+func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
+	for i := len(prior) - 1; i >= 0; i-- {
+		p := &prior[i]
+		if p.GoMaxProcs == e.GoMaxProcs && p.N == e.N && p.D == e.D &&
+			p.Queries == e.Queries && p.DPUs == e.DPUs && p.PipelinedSec > 0 {
+			return p
+		}
+	}
 	return nil
 }

@@ -24,12 +24,23 @@
 // stage 2 schedules the resulting tasks onto DPUs; stage 3 simulates the
 // DPU kernels in parallel and merges on the host. Unless
 // EngineOptions.NoPipeline is set, stage 1 of batch i+1 overlaps stages 2-3
-// of batch i, and all per-launch state (heaps, LUT arenas, task buffers)
-// is pooled, so steady-state searching allocates nothing. Results and
-// metrics are bit-identical between the pipelined and serial paths; only
-// wall-clock speed differs. `drim-bench -bench` records the simulator's
-// own wall-clock throughput into a BENCH_core.json trajectory file for
-// cross-PR comparison.
+// of batch i, and all per-launch state (heaps, arenas, task buffers)
+// is pooled, so steady-state searching allocates nothing.
+//
+// The DPU-phase simulation does O(points) arithmetic with near-zero
+// constant factor: distances come from unrolled batch ADC kernels that
+// evaluate an exact algebraic decomposition instead of materializing
+// per-group LUTs, simulated costs accumulate in register-resident tallies
+// flushed to the DPU counters once per launch block (the per-op reference
+// accountant survives behind EngineOptions.PerOpAccounting), and the SQT16
+// replay is memoized per unique (query, cluster) group — all per-DPU
+// tables share one geometry, so one replay stands in for up to NumDPUs.
+// Results and metrics (every counter, cycle and hit rate) are bit-identical
+// across the pipelined, serial, batched-tally and per-op paths; only
+// wall-clock speed differs. `drim-bench -bench` records the simulator's own
+// wall-clock throughput into a BENCH_core.json trajectory file (with a
+// GOMAXPROCS sweep) for cross-PR comparison; see cmd/drim-bench for the
+// entry schema.
 //
 // Quick start:
 //

@@ -13,21 +13,63 @@
 // the paper models: SearchBatch is a three-stage pipeline (CL -> schedule ->
 // DPU-sim/merge) in which batch i+1's cluster locating runs concurrently
 // with batch i's kernel simulation (Options.NoPipeline restores the serial
-// reference path). Within a launch, each unique (query, cluster) residual
-// and LUT is built exactly once — via an algebraic decomposition that is
-// bit-identical to the SQT kernel but ~6-8x cheaper on the host — shared
-// read-only across the DPUs that scan the cluster, while per-DPU RC/LC
-// costs are still charged as if each DPU ran the kernel privately. All
-// per-launch state (heaps, arenas, task and schedule buffers) is pooled, so
-// the steady-state hot path performs no allocation. The pipelined and
-// serial paths produce bit-identical results and metrics.
+// reference path). Within a launch, each unique (query, cluster) group's
+// residual — and, on the fallback paths, its LUT — is built exactly once,
+// shared read-only across the DPUs that scan the cluster, while per-DPU
+// RC/LC costs are still charged as if each DPU ran the kernel privately.
+// All per-launch state (heaps, arenas, task and schedule buffers) is
+// pooled, so the steady-state hot path performs no allocation. The
+// pipelined and serial paths produce bit-identical results and metrics.
+//
+// # Cost-tally execution model
+//
+// The DPU kernel simulation does O(points) arithmetic with near-zero
+// accounting overhead. Instead of charging the upmem.DPU phase counters per
+// simulated instruction, each DPU's kernel run accumulates its costs in a
+// register-resident upmem.Tally and flushes it to the DPU exactly once per
+// launch block (runDPUBlock). Per-candidate TS costs (shared-heap locks,
+// heap-update compares and stores) are counted as accept/lock totals during
+// the scan and converted to cycles in bulk; every conversion is a uint64
+// sum or product identical to the per-op arithmetic, so the flushed phase
+// counters are bit-identical to the per-op path. The per-op reference
+// accountant is retained behind Options.PerOpAccounting, and the
+// determinism suite asserts exact metric equality between the two.
+//
+// # LUT-free distance calculation
+//
+// With the decomposed LUT builder available, the engine never materializes
+// per-group LUTs at all: DC evaluates, per point, the algebraic identity
+//
+//	Σ_m lut[m][code_m] = PTerm(q, c) + bsum[point] - 2 Σ_m qe_q[m][code_m]
+//
+// where bsum (the static per-point term) is precomputed once at deployment,
+// qe_q (the per-query gather table) once per query per launch, and PTerm
+// once per group — all int32-exact, so distances are bit-identical to
+// summing a materialized LUT (vecmath.ADCResidualBatch). The DPU cost model
+// is unaffected: RC/LC/DC/TS are still charged exactly as the paper's
+// kernels would execute them. Fallback paths (LUT builder over budget, or
+// the per-op reference accountant) materialize shared per-group LUTs as
+// before.
+//
+// # SQT16 memoization invariant
+//
+// All per-DPU sqt.SQT16 tables are built with identical geometry (hot-window
+// size, operand domain), so the hot/cold classification of a diff stream is
+// the same on every DPU. The LC replay of the 16-bit mode therefore runs
+// once per unique (query, cluster) group in buildGroups (stats-free
+// ColdCountRow), and the resulting cold count and hit/miss statistics are
+// applied arithmetically to every DPU that runs the group — up to a
+// NumDPUs-fold reduction — leaving counters bit-identical to a private
+// per-DPU replay.
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -119,6 +161,16 @@ type Options struct {
 	// never the simulated SimSeconds = Σ max(host, pim+xfer) accounting);
 	// the flag exists for the serial reference path and determinism tests.
 	NoPipeline bool
+
+	// PerOpAccounting selects the retained per-operation reference
+	// accountant: every simulated instruction and DMA is charged to the
+	// upmem.DPU counters at the point it happens, per-group LUTs are
+	// materialized, and the SQT16 replay runs privately per DPU. The default
+	// batched cost-tally path produces bit-identical results and exactly
+	// equal metrics while doing near-zero accounting work per point; this
+	// flag exists so tests can verify that equivalence (and as a
+	// maximally-literal reading of the paper's kernels for auditing).
+	PerOpAccounting bool
 }
 
 // DefaultOptions returns the full DRIM-ANN configuration.
@@ -207,6 +259,14 @@ type Engine struct {
 	lut        *ivf.LUTBuilder
 	lutScratch []*ivf.LUTScratch
 
+	// algebraic selects the LUT-free DC path (see the package doc): true
+	// when the decomposed builder is available and the per-op reference
+	// accountant (which materializes LUTs) is off.
+	algebraic bool
+	// bsum[c][i] is the static per-point decomposition term of point i of
+	// cluster c (ivf.LUTBuilder.ClusterADCSums), built once at deployment.
+	bsum [][]int32
+
 	// Per-launch reusable state: one kernel scratch per DPU plus the shared
 	// (query, cluster) group store. Together they make the launch hot path
 	// allocation-free after the first batch.
@@ -221,14 +281,27 @@ type groupKey struct {
 }
 
 // groupStore is the per-launch shared LC state: every unique (query,
-// cluster) group's residual and LUT are built exactly once — fanned across
-// workers — and then read by each DPU that scans a slice of that cluster.
-// Arenas are sized for one group block at a time to bound memory.
+// cluster) group's residual — plus, depending on the execution mode, its
+// LUT (materialized paths) or its decomposition terms and memoized SQT16
+// cold count (algebraic path) — is built exactly once, fanned across
+// workers, then read by each DPU that scans a slice of the cluster. Arenas
+// are sized for one group block at a time to bound memory.
 type groupStore struct {
 	keys []groupKey // sorted unique groups of the launch
 	res  []int16    // block arena: residuals, blockGroups x Dim
-	lut  []uint32   // block arena: LUTs, blockGroups x M*CB
+	lut  []uint32   // block arena (materialized modes): LUTs, blockGroups x M*CB
 	runs []int32    // query-run boundaries within the current block
+
+	// Algebraic-mode arenas (see the package doc): one qe gather table per
+	// query run, one scalar PTerm and run index per group.
+	qe    []int32 // runs x M*CB
+	p     []int32 // block-relative per-group PTerm
+	runOf []int32 // block-relative per-group run index into qe
+
+	// cold[i] is the memoized SQT16 cold-lookup count of block-relative
+	// group i's full M x CB x dsub replay stream (set only in SQT16 mode on
+	// the batched-tally path).
+	cold []uint64
 }
 
 // dpuScratch is the reusable per-DPU kernel state: the top-k heap pool, the
@@ -241,6 +314,12 @@ type dpuScratch struct {
 	groupIx []int32              // unique-group index per task
 	itemBuf []topk.Item[uint32]  // SortedInto scratch for the host merge
 	stats   dpuRunStats
+
+	// tally batches this DPU's simulated costs; flushed to the upmem.DPU
+	// once per launch block. distBuf holds one slice's DC distances between
+	// the gather pass and the TS accept pass.
+	tally   upmem.Tally
+	distBuf []uint32
 
 	// Launch cursor: position in the sorted task list plus the current
 	// (query, cluster) group, preserved across group blocks.
@@ -274,8 +353,18 @@ type Metrics struct {
 	XferSeconds float64 // host<->PIM transfers + launch overhead
 
 	PhaseSeconds [upmem.NumPhases]float64 // per-phase critical path
-	Launches     int
-	Batches      int
+
+	// Aggregate per-phase counters summed over every DPU and launch: raw
+	// instruction cycles (pre pipeline scaling), DMA transfers issued
+	// (including coalesced random accesses) and bytes moved. They make the
+	// accounting auditable at full precision — the batched cost-tally path
+	// and the per-op reference accountant must agree on every element.
+	PhaseComputeCycles [upmem.NumPhases]uint64
+	PhaseDMACount      [upmem.NumPhases]uint64
+	PhaseDMABytes      [upmem.NumPhases]uint64
+
+	Launches int
+	Batches  int
 
 	ImbalanceSum float64 // summed per-launch max/mean (divide by Launches)
 	Postponed    int     // tasks deferred by overheat postponement
@@ -285,6 +374,20 @@ type Metrics struct {
 	LUTBuilds     uint64
 	LUTReuses     uint64
 	PointsScanned uint64
+
+	// SQT16Hot/SQT16Cold are the tiered squaring-table lookups of this call
+	// (all DPUs), split by tier; zero when the 16-bit mode is off.
+	SQT16Hot  uint64
+	SQT16Cold uint64
+}
+
+// SQT16HitRate returns the fraction of this call's tiered-table lookups
+// served by the WRAM-resident hot window (1 when the mode is off).
+func (m *Metrics) SQT16HitRate() float64 {
+	if m.SQT16Hot+m.SQT16Cold == 0 {
+		return 1
+	}
+	return float64(m.SQT16Hot) / float64(m.SQT16Hot+m.SQT16Cold)
 }
 
 // AvgImbalance returns the mean per-launch max/mean DPU load ratio.
@@ -472,6 +575,19 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 			e.lutScratch[i] = e.lut.NewScratch()
 		}
 	}
+	// The LUT-free DC path needs the static per-point decomposition term of
+	// every cluster; build it once here (O(N*M) gathers over the whole
+	// corpus). The per-op reference accountant materializes LUTs instead.
+	e.algebraic = e.lut != nil && !opts.PerOpAccounting
+	if e.algebraic {
+		e.bsum = make([][]int32, ix.NList)
+		parallelFor(ix.NList, opts.Workers, func(_, c int) {
+			codes := ix.Codes[c]
+			sums := make([]int32, len(codes)/ix.M)
+			e.lut.ClusterADCSums(c, codes, sums)
+			e.bsum[c] = sums
+		})
+	}
 	e.scratch = make([]dpuScratch, opts.NumDPUs)
 	return e, nil
 }
@@ -487,15 +603,7 @@ func codeBytesFor(cb, m int) int {
 // 16-bit squaring tables, or 1 when the mode is off (the paper's claim:
 // residual magnitudes concentrate, so the WRAM tier absorbs most lookups).
 func (e *Engine) SQT16HitRate() float64 {
-	if e.sqt16 == nil {
-		return 1
-	}
-	var hot, cold uint64
-	for _, t := range e.sqt16 {
-		s := t.Stats()
-		hot += s.Hot
-		cold += s.Cold
-	}
+	hot, cold := e.sqt16Totals()
 	if hot+cold == 0 {
 		return 1
 	}
@@ -588,6 +696,9 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	}
 	m := &res.Metrics
 	m.Queries = queries.N
+	// The per-DPU SQT16 counters accumulate across the engine's lifetime;
+	// this call's share is the delta.
+	sqtHot0, sqtCold0 := e.sqt16Totals()
 
 	// Query ids are only unique within this call: drop any per-query terms
 	// the LUT scratches cached during a previous SearchBatch.
@@ -707,7 +818,21 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	if m.SimSeconds > 0 {
 		m.QPS = float64(queries.N) / m.SimSeconds
 	}
+	sqtHot1, sqtCold1 := e.sqt16Totals()
+	m.SQT16Hot = sqtHot1 - sqtHot0
+	m.SQT16Cold = sqtCold1 - sqtCold0
 	return res, nil
+}
+
+// sqt16Totals sums the hot/cold lookup counters over every DPU's tiered
+// table (both zero when the 16-bit mode is off).
+func (e *Engine) sqt16Totals() (hot, cold uint64) {
+	for _, t := range e.sqt16 {
+		s := t.Stats()
+		hot += s.Hot
+		cold += s.Cold
+	}
+	return hot, cold
 }
 
 // groupBlockBudget bounds the shared residual+LUT arena of one launch
@@ -737,6 +862,7 @@ func (e *Engine) runLaunch(batch *sched.Batch, queries dataset.U8Set, partials [
 		sc.results = sc.results[:0]
 		sc.nHeaps = 0
 		sc.stats = dpuRunStats{}
+		sc.tally.Reset()
 		sc.taskPos = 0
 		sc.curQ, sc.curC = -1, -1
 		sc.curHeap = nil
@@ -792,6 +918,14 @@ func (e *Engine) runLaunch(batch *sched.Batch, queries dataset.U8Set, partials [
 	xferSec := e.sys.TransferSeconds()
 	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
 		m.PhaseSeconds[p] += e.sys.Cfg.Seconds(e.sys.PhaseCyclesMax(p))
+	}
+	for _, d := range e.sys.DPUs {
+		for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+			st := d.Stats(p)
+			m.PhaseComputeCycles[p] += st.ComputeCycles
+			m.PhaseDMACount[p] += st.DMACount
+			m.PhaseDMABytes[p] += st.DMABytes
+		}
 	}
 	m.Launches++
 	m.XferSeconds += xferSec
@@ -852,15 +986,14 @@ func parallelFor(n, workers int, f func(worker, i int)) {
 // deterministic kernel order that makes queries contiguous and groups
 // adjacent.
 func (e *Engine) sortTasks(tasks []sched.Task) {
-	sort.Slice(tasks, func(i, j int) bool {
-		a, b := tasks[i], tasks[j]
-		if a.Query != b.Query {
-			return a.Query < b.Query
+	slices.SortFunc(tasks, func(a, b sched.Task) int {
+		if c := cmp.Compare(a.Query, b.Query); c != 0 {
+			return c
 		}
-		if a.Cluster != b.Cluster {
-			return a.Cluster < b.Cluster
+		if c := cmp.Compare(a.Cluster, b.Cluster); c != 0 {
+			return c
 		}
-		return e.pl.Slices[a.Slice].Start < e.pl.Slices[b.Slice].Start
+		return cmp.Compare(e.pl.Slices[a.Slice].Start, e.pl.Slices[b.Slice].Start)
 	})
 }
 
@@ -885,12 +1018,11 @@ func (e *Engine) collectGroups(batch *sched.Batch) int {
 			}
 		}
 	}
-	sort.Slice(g.keys, func(i, j int) bool {
-		a, b := g.keys[i], g.keys[j]
-		if a.q != b.q {
-			return a.q < b.q
+	slices.SortFunc(g.keys, func(a, b groupKey) int {
+		if c := cmp.Compare(a.q, b.q); c != 0 {
+			return c
 		}
-		return a.c < b.c
+		return cmp.Compare(a.c, b.c)
 	})
 	uniq := g.keys[:0]
 	for _, k := range g.keys {
@@ -933,12 +1065,15 @@ func (e *Engine) collectGroups(batch *sched.Batch) int {
 	return shipped
 }
 
-// buildGroups fills the shared arenas with the residual and LUT of every
-// group in keys[gLo:gHi), building each exactly once. Work is fanned across
-// workers per query run so the decomposed builder amortizes its per-query
-// terms over all clusters the query probes; a per-worker scratch keeps the
-// stage allocation-free. Without the decomposed builder (memory budget
-// exceeded) groups fall back to direct LUTInt builds, still deduplicated.
+// buildGroups fills the shared arenas for every group in keys[gLo:gHi),
+// building each exactly once. On the algebraic path this is the residual,
+// the PTerm scalar and (per query run) the qe gather table; on the
+// materialized paths (per-op reference, or LUT builder over budget) it is
+// the residual and the full LUT. In SQT16 mode on the batched-tally path it
+// also memoizes each group's cold-lookup count, replayed once here instead
+// of once per DPU. Work is fanned across workers per query run so per-query
+// terms amortize over all clusters the query probes; per-worker scratches
+// keep the stage allocation-free.
 func (e *Engine) buildGroups(queries dataset.U8Set, gLo, gHi int) {
 	g := &e.groups
 	ix := e.ix
@@ -950,8 +1085,15 @@ func (e *Engine) buildGroups(queries dataset.U8Set, gLo, gHi int) {
 	if cap(g.res) < n*dim {
 		g.res = make([]int16, n*dim)
 	}
-	if cap(g.lut) < n*lutLen {
+	if !e.algebraic && cap(g.lut) < n*lutLen {
 		g.lut = make([]uint32, n*lutLen)
+	}
+	memoSQT := e.sqt16 != nil && !e.opts.PerOpAccounting
+	if memoSQT {
+		if cap(g.cold) < n {
+			g.cold = make([]uint64, n)
+		}
+		g.cold = g.cold[:n]
 	}
 
 	// Query runs within the block: keys are (query, cluster)-sorted, so one
@@ -963,35 +1105,257 @@ func (e *Engine) buildGroups(queries dataset.U8Set, gLo, gHi int) {
 		}
 	}
 	g.runs = append(g.runs, int32(gHi))
+	if e.algebraic {
+		if cap(g.qe) < (len(g.runs)-1)*lutLen {
+			g.qe = make([]int32, (len(g.runs)-1)*lutLen)
+		}
+		if cap(g.p) < n {
+			g.p = make([]int32, n)
+			g.runOf = make([]int32, n)
+		}
+		g.p = g.p[:n]
+		g.runOf = g.runOf[:n]
+	}
 
 	parallelFor(len(g.runs)-1, e.opts.Workers, func(w, ri int) {
 		var sc *ivf.LUTScratch
-		if e.lut != nil {
+		if e.lut != nil && !e.algebraic {
 			sc = e.lutScratch[w]
 		}
-		for i := int(g.runs[ri]); i < int(g.runs[ri+1]); i++ {
+		lo, hi := int(g.runs[ri]), int(g.runs[ri+1])
+		query := queries.Vec(int(g.keys[lo].q))
+		var qq int32
+		if e.algebraic {
+			e.lut.BuildQE(query, g.qe[ri*lutLen:(ri+1)*lutLen])
+			qq = vecmath.DotU8I32(query, query) // amortized over the run's clusters
+		}
+		for i := lo; i < hi; i++ {
 			k := g.keys[i]
-			query := queries.Vec(int(k.q))
 			res := g.res[(i-gLo)*dim : (i-gLo+1)*dim]
-			lut := g.lut[(i-gLo)*lutLen : (i-gLo+1)*lutLen]
 			vecmath.SubI16(res, query, ix.CentroidU8(int(k.c)))
-			switch {
-			case e.lut != nil:
-				e.lut.Build(k.q, query, int(k.c), lut, sc)
-			case e.opts.UseSQT:
-				ix.IntCB.LUTInt(res, lut, ix.SQT)
-			default:
-				ix.IntCB.LUTIntMul(res, lut)
+			if e.algebraic {
+				g.p[i-gLo] = e.lut.PTermQQ(qq, query, int(k.c))
+				g.runOf[i-gLo] = int32(ri)
+			} else {
+				lut := g.lut[(i-gLo)*lutLen : (i-gLo+1)*lutLen]
+				switch {
+				case e.lut != nil:
+					e.lut.Build(k.q, query, int(k.c), lut, sc)
+				case e.opts.UseSQT:
+					ix.IntCB.LUTInt(res, lut, ix.SQT)
+				default:
+					ix.IntCB.LUTIntMul(res, lut)
+				}
+			}
+			if memoSQT {
+				g.cold[i-gLo] = e.groupColdCount(res)
 			}
 		}
 	})
 }
 
+// groupColdCount replays one group's full M x CB x dsub SQT16 diff stream
+// (stats-free) and returns its cold-lookup count. All per-DPU tables share
+// one geometry and ColdCountRow only reads it, so a single table stands in
+// for every DPU — the memoization invariant from the package doc.
+func (e *Engine) groupColdCount(res []int16) uint64 {
+	ix := e.ix
+	tab := e.sqt16[0]
+	dsub := ix.Dim / ix.M
+	var cold uint64
+	for m := 0; m < ix.M; m++ {
+		sub := res[m*dsub : (m+1)*dsub]
+		for c := 0; c < ix.CB; c++ {
+			cold += tab.ColdCountRow(sub, ix.IntCB.Entry(m, c))
+		}
+	}
+	return cold
+}
+
 // runDPUBlock advances one DPU's kernel execution through every task whose
 // group lies in [gLo, gHi): per group it charges the RC and LC kernels, then
-// functionally scans the slice (DC + TS) against the shared LUT. The cursor
-// in the DPU scratch carries the run across blocks of the same launch.
+// functionally scans the slice (DC + TS). The cursor in the DPU scratch
+// carries the run across blocks of the same launch.
+//
+// This is the batched-tally hot path: DC distances are computed by an
+// unrolled batch gather kernel (LUT-free on the algebraic path), the TS
+// accept pass tests a register-cached bound, and every simulated cost
+// accumulates in the scratch tally, flushed to the DPU once per block.
+// Options.PerOpAccounting swaps in the retained per-op reference.
 func (e *Engine) runDPUBlock(d int, tasks []sched.Task, gLo, gHi int) {
+	if e.opts.PerOpAccounting {
+		e.runDPUBlockRef(d, tasks, gLo, gHi)
+		return
+	}
+	sc := &e.scratch[d]
+	dpu := e.sys.DPUs[d]
+	ix := e.ix
+	g := &e.groups
+	lutLen := ix.M * ix.CB
+	ta := &sc.tally
+	for sc.taskPos < len(tasks) {
+		gi := int(sc.groupIx[sc.taskPos])
+		if gi >= gHi {
+			break
+		}
+		t := tasks[sc.taskPos]
+		sc.taskPos++
+		if t.Query != sc.curQ {
+			sc.curHeap = sc.nextHeap(e.opts.K)
+			sc.results = append(sc.results, dpuQueryResult{q: t.Query, h: sc.curHeap})
+		}
+		if t.Query != sc.curQ || t.Cluster != sc.curC {
+			sc.curQ, sc.curC = t.Query, t.Cluster
+			e.chargeRC(ta)
+			e.chargeLC(ta, dpu, gi-gLo)
+			sc.stats.lutBuilds++
+		} else {
+			sc.stats.lutReuses++
+		}
+		s := &e.pl.Slices[t.Slice]
+		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
+		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
+		if cap(sc.distBuf) < s.Count {
+			sc.distBuf = make([]uint32, s.Count)
+		}
+		dist := sc.distBuf[:s.Count]
+		if e.algebraic {
+			qe := g.qe[int(g.runOf[gi-gLo])*lutLen:][:lutLen]
+			bsum := e.bsum[t.Cluster][s.Start : s.Start+s.Count]
+			vecmath.ADCResidualBatch(dist, qe, codes, bsum, g.p[gi-gLo], ix.M, ix.CB)
+		} else {
+			lut := g.lut[(gi-gLo)*lutLen : (gi-gLo+1)*lutLen]
+			vecmath.ADCBatchU32(dist, lut, codes, ix.M, ix.CB)
+		}
+		e.kernelTS(ta, dist, ids, sc)
+	}
+	dpu.ApplyTally(ta)
+	ta.Reset()
+}
+
+// chargeRC accounts the residual-calculation kernel (paper Equations 4-5):
+// D subtractions plus centroid DMA from MRAM. The residual value itself is
+// computed once per group in buildGroups; every DPU running the group is
+// still charged as if it ran the kernel privately, as the hardware would.
+func (e *Engine) chargeRC(ta *upmem.Tally) {
+	cost := &e.sys.Cfg.Cost
+	n := uint64(e.ix.Dim)
+	ta.Charge(cost, upmem.PhaseRC, upmem.OpLoad, 2*n)
+	ta.Charge(cost, upmem.PhaseRC, upmem.OpAdd, n)
+	ta.Charge(cost, upmem.PhaseRC, upmem.OpStore, n)
+	ta.DMA(upmem.PhaseRC, n) // centroid bytes (uint8)
+}
+
+// chargeLC accounts the LUT-construction kernel (Equations 6-7). With
+// UseSQT each square is |a-b| + one table load; without it each square is a
+// 32-cycle multiply. The codebook streams from MRAM; LUT stores hit WRAM
+// when buffered, otherwise they become slow-path MRAM traffic. The LUT
+// values themselves are never built per DPU (buildGroups builds each group
+// once, or the algebraic path skips them); costs are still charged per DPU.
+// In SQT16 mode the group's memoized cold count (bi indexes the block) is
+// charged and credited to this DPU's tiered table — bit-identical to the
+// private replay chargeLCRef retains, per the memoization invariant.
+func (e *Engine) chargeLC(ta *upmem.Tally, dpu *upmem.DPU, bi int) {
+	ix := e.ix
+	cost := &e.sys.Cfg.Cost
+	elems := uint64(ix.CB * ix.Dim) // M * CB * dsub
+	entries := uint64(ix.M * ix.CB)
+	ta.Charge(cost, upmem.PhaseLC, upmem.OpAdd, elems)  // subtraction per element
+	ta.Charge(cost, upmem.PhaseLC, upmem.OpAdd, elems)  // accumulate per element
+	ta.Charge(cost, upmem.PhaseLC, upmem.OpLoad, elems) // codebook element loads
+	switch {
+	case e.opts.UseSQT && e.sqt16 != nil:
+		cold := e.groups.cold[bi]
+		e.sqt16[dpu.ID].AddStats(elems-cold, cold)
+		ta.Charge(cost, upmem.PhaseLC, upmem.OpAdd, elems)  // abs
+		ta.Charge(cost, upmem.PhaseLC, upmem.OpLoad, elems) // table lookup
+		ta.ChargeCycles(upmem.PhaseLC, elems*e.opts.SQTAccessCycles)
+		ta.RandomAccess(upmem.PhaseLC, cold) // cold tier lives in MRAM
+		if !e.opts.UseWRAM {
+			ta.RandomAccess(upmem.PhaseLC, elems-cold)
+		}
+	case e.opts.UseSQT:
+		ta.Charge(cost, upmem.PhaseLC, upmem.OpAdd, elems)  // abs
+		ta.Charge(cost, upmem.PhaseLC, upmem.OpLoad, elems) // SQT lookup
+		ta.ChargeCycles(upmem.PhaseLC, elems*e.opts.SQTAccessCycles)
+		if !e.opts.UseWRAM {
+			ta.RandomAccess(upmem.PhaseLC, elems) // SQT lives in MRAM without buffering
+		}
+	default:
+		ta.Charge(cost, upmem.PhaseLC, upmem.OpMul, elems)
+	}
+	ta.Charge(cost, upmem.PhaseLC, upmem.OpStore, entries) // LUT stores
+	ta.DMA(upmem.PhaseLC, 2*elems)                         // codebook stream (int16)
+	if !e.lutInWRAM {
+		ta.RandomAccess(upmem.PhaseLC, entries) // LUT spills to MRAM
+	}
+}
+
+// kernelTS runs the top-k accept pass (TS, Equations 10-11) over one
+// slice's DC distances against a register-cached bound (topk.Bound — the
+// predicate is exactly Heap.WouldAccept, re-captured after each Push), then
+// charges the slice's DC and TS costs in bulk: locks and heap updates are
+// counted during the scan and converted to cycles once, which is exact
+// because every per-op charge is a uint64 product.
+func (e *Engine) kernelTS(ta *upmem.Tally, dist []uint32, ids []int32, sc *dpuScratch) {
+	h := sc.curHeap
+	bound := h.Bound()
+	var accepts uint64
+	for i, dv := range dist {
+		if bound.Accepts(ids[i], dv) {
+			h.Push(ids[i], dv)
+			bound = h.Bound()
+			accepts++
+		}
+	}
+
+	cost := &e.sys.Cfg.Cost
+	n := uint64(len(dist))
+	logK := uint64(log2ceil(e.opts.K))
+	st := &sc.stats
+	st.points += n
+	switch {
+	case e.opts.UseBitonicTS:
+		// A bitonic network over the slice's candidates: size/2 compare-
+		// exchanges per column, log(size)*(log(size)+1)/2 columns; no shared
+		// queue, no per-accept heap updates.
+		if len(dist) > 1 {
+			size := uint64(1) << uint(log2ceil(len(dist)))
+			logSize := uint64(log2ceil(len(dist)))
+			swaps := size / 2 * logSize * (logSize + 1) / 2
+			ta.Charge(cost, upmem.PhaseTS, upmem.OpCmp, swaps)
+			ta.Charge(cost, upmem.PhaseTS, upmem.OpStore, swaps/2)
+		}
+	case e.opts.UseLockPruning:
+		st.lockAcquired += accepts
+		st.lockSkipped += n - accepts
+		ta.ChargeCycles(upmem.PhaseTS, accepts*e.opts.LockCycles)
+		ta.Charge(cost, upmem.PhaseTS, upmem.OpCmp, accepts*logK)
+		ta.Charge(cost, upmem.PhaseTS, upmem.OpStore, accepts*logK)
+	default:
+		st.lockAcquired += n
+		ta.ChargeCycles(upmem.PhaseTS, n*e.opts.LockCycles)
+		ta.Charge(cost, upmem.PhaseTS, upmem.OpCmp, accepts*logK)
+		ta.Charge(cost, upmem.PhaseTS, upmem.OpStore, accepts*logK)
+	}
+
+	um := uint64(e.ix.M)
+	ta.Charge(cost, upmem.PhaseDC, upmem.OpLoad, n*um) // code element loads
+	ta.Charge(cost, upmem.PhaseDC, upmem.OpLoad, n*um) // LUT gathers
+	ta.Charge(cost, upmem.PhaseDC, upmem.OpAdd, n*(um-1))
+	ta.Charge(cost, upmem.PhaseTS, upmem.OpCmp, n) // bound comparison per point
+	ta.DMA(upmem.PhaseDC, n*uint64(e.codeBytes+4)) // codes + ids stream
+	if !e.opts.UseWRAM || !e.lutInWRAM {
+		ta.RandomAccess(upmem.PhaseDC, n*um) // LUT gathers hit MRAM
+	}
+}
+
+// runDPUBlockRef is the retained per-op reference accountant
+// (Options.PerOpAccounting): identical task walk, but every simulated
+// instruction and DMA is charged to the DPU at the point it happens and DC
+// scans a materialized group LUT point-by-point. The batched-tally path
+// must reproduce its results and metrics exactly.
+func (e *Engine) runDPUBlockRef(d int, tasks []sched.Task, gLo, gHi int) {
 	sc := &e.scratch[d]
 	dpu := e.sys.DPUs[d]
 	ix := e.ix
@@ -1011,8 +1375,8 @@ func (e *Engine) runDPUBlock(d int, tasks []sched.Task, gLo, gHi int) {
 		lut := e.groups.lut[(gi-gLo)*lutLen : (gi-gLo+1)*lutLen]
 		if t.Query != sc.curQ || t.Cluster != sc.curC {
 			sc.curQ, sc.curC = t.Query, t.Cluster
-			e.chargeRC(dpu)
-			e.chargeLC(dpu, res)
+			e.chargeRCRef(dpu)
+			e.chargeLCRef(dpu, res)
 			sc.stats.lutBuilds++
 		} else {
 			sc.stats.lutReuses++
@@ -1020,15 +1384,12 @@ func (e *Engine) runDPUBlock(d int, tasks []sched.Task, gLo, gHi int) {
 		s := &e.pl.Slices[t.Slice]
 		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
 		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
-		e.kernelDCTS(dpu, lut, ids, codes, sc.curHeap, &sc.stats)
+		e.kernelDCTSRef(dpu, lut, ids, codes, sc.curHeap, &sc.stats)
 	}
 }
 
-// chargeRC accounts the residual-calculation kernel (paper Equations 4-5):
-// D subtractions plus centroid DMA from MRAM. The residual value itself is
-// computed once per group in buildGroups; every DPU running the group is
-// still charged as if it ran the kernel privately, as the hardware would.
-func (e *Engine) chargeRC(dpu *upmem.DPU) {
+// chargeRCRef is the per-op reference twin of chargeRC.
+func (e *Engine) chargeRCRef(dpu *upmem.DPU) {
 	n := uint64(e.ix.Dim)
 	dpu.Charge(upmem.PhaseRC, upmem.OpLoad, 2*n)
 	dpu.Charge(upmem.PhaseRC, upmem.OpAdd, n)
@@ -1036,14 +1397,10 @@ func (e *Engine) chargeRC(dpu *upmem.DPU) {
 	dpu.DMA(upmem.PhaseRC, n) // centroid bytes (uint8)
 }
 
-// chargeLC accounts the LUT-construction kernel (Equations 6-7). With
-// UseSQT each square is |a-b| + one table load; without it each square is a
-// 32-cycle multiply. The codebook streams from MRAM; LUT stores hit WRAM
-// when buffered, otherwise they become slow-path MRAM traffic. The LUT
-// values are built once per group in buildGroups; costs are still charged
-// per DPU. residual is the group's residual, needed to replay the SQT16
-// diff stream against this DPU's tiered table.
-func (e *Engine) chargeLC(dpu *upmem.DPU, residual []int16) {
+// chargeLCRef is the per-op reference twin of chargeLC: in SQT16 mode it
+// replays the group's diff stream privately against this DPU's tiered
+// table, the cost the memoized path reproduces arithmetically.
+func (e *Engine) chargeLCRef(dpu *upmem.DPU, residual []int16) {
 	ix := e.ix
 	elems := uint64(ix.CB * ix.Dim) // M * CB * dsub
 	entries := uint64(ix.M * ix.CB)
@@ -1088,10 +1445,11 @@ func (e *Engine) chargeLC(dpu *upmem.DPU, residual []int16) {
 	}
 }
 
-// kernelDCTS scans one slice: per point M LUT gathers and M-1 adds (DC,
-// Equations 8-9), then the top-k update (TS, Equations 10-11) with the
-// shared-heap lock and optional lock pruning.
-func (e *Engine) kernelDCTS(dpu *upmem.DPU, lut []uint32, ids []int32, codes []uint16, h *topk.Heap[uint32], st *dpuRunStats) {
+// kernelDCTSRef is the per-op reference twin of the batch-DC + kernelTS
+// pair: per point M LUT gathers and M-1 adds (DC, Equations 8-9), then the
+// top-k update (TS, Equations 10-11) with the shared-heap lock and optional
+// lock pruning, each cost charged as it is simulated.
+func (e *Engine) kernelDCTSRef(dpu *upmem.DPU, lut []uint32, ids []int32, codes []uint16, h *topk.Heap[uint32], st *dpuRunStats) {
 	ix := e.ix
 	n := len(ids)
 	m := ix.M

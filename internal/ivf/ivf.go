@@ -250,8 +250,27 @@ func (ix *Index) LocateInt(query []uint8, nprobe int) []topk.Item[uint32] {
 // locateIntInto fills h (which must be empty) with the h.K() nearest
 // centroids to query under the integer metric.
 func (ix *Index) locateIntInto(query []uint8, h *topk.Heap[uint32]) {
+	// Once the heap is full, centroids whose partial distance already
+	// exceeds the current threshold are abandoned mid-scan. Squared sums
+	// only grow, so an abandoned centroid's true distance is strictly above
+	// the threshold and would have been rejected anyway (ties keep the
+	// incumbent of larger distance out regardless of ID, because only
+	// strictly greater sums abandon) — the probe set is exactly that of the
+	// full scan.
 	for c := 0; c < ix.NList; c++ {
-		d := vecmath.L2SquaredU8(query, ix.CentroidU8(c))
+		cent := ix.CentroidU8(c)
+		thr, full := h.Threshold()
+		if full {
+			d, done := vecmath.L2SquaredU8Abandon(query, cent, thr)
+			if !done {
+				continue
+			}
+			if h.WouldAccept(int32(c), d) {
+				h.Push(int32(c), d)
+			}
+			continue
+		}
+		d := vecmath.L2SquaredU8(query, cent)
 		if h.WouldAccept(int32(c), d) {
 			h.Push(int32(c), d)
 		}

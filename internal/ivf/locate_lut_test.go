@@ -7,6 +7,7 @@ import (
 	"drimann/internal/dataset"
 	"drimann/internal/pq"
 	"drimann/internal/topk"
+	"drimann/internal/vecmath"
 )
 
 func locateFixture(t *testing.T) (*Index, *dataset.Synth) {
@@ -139,6 +140,77 @@ func TestLUTBuilderScratchReuseAcrossQueries(t *testing.T) {
 		for i := range got {
 			if got[i] != want[i] {
 				t.Fatalf("(q=%d c=%d) entry %d: %d != %d", oc.q, oc.c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecomposedADCMatchesMaterializedLUT: the LUT-free DC decomposition
+// (per-query BuildQE gather table + static per-point ClusterADCSums + the
+// per-(query, cluster) PTerm scalar) must reproduce, bit-for-bit, the ADC
+// sums of a materialized Build LUT for every point of the cluster — the
+// identity that lets the engine skip per-group LUT materialization entirely.
+func TestDecomposedADCMatchesMaterializedLUT(t *testing.T) {
+	ix, s := locateFixture(t)
+	lb := ix.NewLUTBuilder(0)
+	if lb == nil {
+		t.Fatal("builder unexpectedly over budget")
+	}
+	sc := lb.NewScratch()
+	lut := make([]uint32, ix.M*ix.CB)
+	qe := make([]int32, ix.M*ix.CB)
+
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		qi := rng.Intn(s.Queries.N)
+		c := rng.Intn(ix.NList)
+		q := s.Queries.Vec(qi)
+		codes := ix.Codes[c]
+		n := len(codes) / ix.M
+		if n == 0 {
+			continue
+		}
+
+		lb.Build(int32(qi), q, c, lut, sc)
+		want := make([]uint32, n)
+		vecmath.ADCBatchU32(want, lut, codes, ix.M, ix.CB)
+
+		lb.BuildQE(q, qe)
+		bsum := make([]int32, n)
+		lb.ClusterADCSums(c, codes, bsum)
+		got := make([]uint32, n)
+		vecmath.ADCResidualBatch(got, qe, codes, bsum, lb.PTerm(q, c), ix.M, ix.CB)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (q=%d c=%d) point %d: decomposed %d != materialized %d",
+					trial, qi, c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLocateIntMatchesFullScanReference: the early-abandoning centroid scan
+// must select exactly the probes (IDs, distances, order) of a naive full
+// evaluation — LocateInt and LocateBatch share the abandoning scan, so this
+// pins it against an independent reference.
+func TestLocateIntMatchesFullScanReference(t *testing.T) {
+	ix, s := locateFixture(t)
+	const nprobe = 12
+	for qi := 0; qi < s.Queries.N; qi++ {
+		q := s.Queries.Vec(qi)
+		h := topk.NewHeap[uint32](nprobe)
+		for c := 0; c < ix.NList; c++ {
+			h.Push(int32(c), vecmath.L2SquaredU8(q, ix.CentroidU8(c)))
+		}
+		want := h.Sorted()
+		got := ix.LocateInt(q, nprobe)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d probes, want %d", qi, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d probe %d: %+v != full-scan %+v", qi, j, got[j], want[j])
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package ivf
 
 import (
 	"sync"
+
+	"drimann/internal/vecmath"
 )
 
 // LUTBuilder is the wall-clock-optimized host implementation of the LC
@@ -117,6 +119,79 @@ func (lb *LUTBuilder) NewScratch() *LUTScratch {
 // one search, so a stale cache would silently serve another query's terms.
 func (sc *LUTScratch) Invalidate() { sc.qid = -1 }
 
+// BuildQE fills qe (length M*CB) with the per-query gather table of the
+// decomposition: qe[m*CB+e] = Σ_j q_j * entry_{m,e}[j]. Together with the
+// precomputed per-cluster point sums (ClusterADCSums) and the per-(query,
+// cluster) scalar (PTerm), it lets a DC kernel evaluate exact LUT sums
+// point-by-point without materializing any per-group LUT — see
+// vecmath.ADCResidualBatch for the identity.
+func (lb *LUTBuilder) BuildQE(query []uint8, qe []int32) {
+	ix, m, cb, dsub := lb.ix, lb.ix.M, lb.ix.CB, lb.dsub
+	for mi := 0; mi < m; mi++ {
+		sub := query[mi*dsub : (mi+1)*dsub]
+		rows := ix.IntCB.Data[mi*cb*dsub : (mi+1)*cb*dsub]
+		out := qe[mi*cb : (mi+1)*cb]
+		if dsub == 8 {
+			// Dominant shape (e.g. 128d / M=16): hoist the query subvector
+			// into registers and unroll the dot product; int32 addition is
+			// associative, so the result is unchanged.
+			q0, q1 := int32(sub[0]), int32(sub[1])
+			q2, q3 := int32(sub[2]), int32(sub[3])
+			q4, q5 := int32(sub[4]), int32(sub[5])
+			q6, q7 := int32(sub[6]), int32(sub[7])
+			for e := range out {
+				row := rows[e*8 : e*8+8 : e*8+8]
+				s01 := q0*int32(row[0]) + q1*int32(row[1])
+				s23 := q2*int32(row[2]) + q3*int32(row[3])
+				s45 := q4*int32(row[4]) + q5*int32(row[5])
+				s67 := q6*int32(row[6]) + q7*int32(row[7])
+				out[e] = (s01 + s23) + (s45 + s67)
+			}
+			continue
+		}
+		for e := range out {
+			row := rows[e*dsub : (e+1)*dsub : (e+1)*dsub]
+			var s int32
+			for j, q := range sub {
+				s += int32(q) * int32(row[j])
+			}
+			out[e] = s
+		}
+	}
+}
+
+// PTerm returns the per-(query, cluster) scalar of the decomposition summed
+// over all M subspaces: Σ_j q_j² - 2 Σ_j q_j c_j. Adding it to a point's
+// ClusterADCSums entry minus twice its BuildQE gathers reproduces, exactly,
+// the sum over M of the LUT entries Build would materialize (all partial
+// sums stay far below int32 overflow, so the grouping of terms is free).
+func (lb *LUTBuilder) PTerm(query []uint8, cluster int) int32 {
+	return lb.PTermQQ(vecmath.DotU8I32(query, query), query, cluster)
+}
+
+// PTermQQ is PTerm with the query self-product qq = Σ_j q_j² precomputed,
+// for callers that amortize it over every cluster the query probes.
+func (lb *LUTBuilder) PTermQQ(qq int32, query []uint8, cluster int) int32 {
+	return qq - 2*vecmath.DotU8I32(query, lb.ix.CentroidU8(cluster))
+}
+
+// ClusterADCSums fills dst[i] = Σ_m b_c[m][code_im] over the cluster's
+// packed code matrix — the static per-point term of the decomposition,
+// computable once per index deployment because it depends only on the
+// cluster centroid and the codebook.
+func (lb *LUTBuilder) ClusterADCSums(c int, codes []uint16, dst []int32) {
+	m, cb := lb.ix.M, lb.ix.CB
+	bc := lb.b[c*m*cb : (c+1)*m*cb]
+	for i := range dst {
+		code := codes[i*m : (i+1)*m]
+		var s int32
+		for mi, e := range code {
+			s += bc[mi*cb+int(e)]
+		}
+		dst[i] = s
+	}
+}
+
 // Build fills lut (length M*CB) with exactly the values LUTInt would produce
 // for residual query-centroid(cluster). qid identifies the query for scratch
 // reuse; callers must pass a stable id per distinct query vector.
@@ -124,6 +199,7 @@ func (lb *LUTBuilder) Build(qid int32, query []uint8, cluster int, lut []uint32,
 	ix, m, cb, dsub := lb.ix, lb.ix.M, lb.ix.CB, lb.dsub
 	if sc.qid != qid {
 		sc.qid = qid
+		lb.BuildQE(query, sc.qe)
 		for mi := 0; mi < m; mi++ {
 			sub := query[mi*dsub : (mi+1)*dsub]
 			var a int32
@@ -131,16 +207,6 @@ func (lb *LUTBuilder) Build(qid int32, query []uint8, cluster int, lut []uint32,
 				a += int32(q) * int32(q)
 			}
 			sc.a[mi] = a
-			rows := ix.IntCB.Data[mi*cb*dsub : (mi+1)*cb*dsub]
-			out := sc.qe[mi*cb : (mi+1)*cb]
-			for e := range out {
-				row := rows[e*dsub : (e+1)*dsub : (e+1)*dsub]
-				var s int32
-				for j, q := range sub {
-					s += int32(q) * int32(row[j])
-				}
-				out[e] = s
-			}
 		}
 	}
 	cent := ix.CentroidU8(cluster)

@@ -87,3 +87,100 @@ func BenchmarkSQT16ReplayRow(b *testing.B) {
 	}
 	_ = cold
 }
+
+// TestMemoizedReplayMatchesPerTableReplay: computing the cold count once via
+// the stats-free ColdCountRow and applying it to N identically-shaped tables
+// with AddStats must leave every table with exactly the stats a private
+// CountColdRow replay would have produced.
+func TestMemoizedReplayMatchesPerTableReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		hot := 1 + rng.Intn(300)
+		const numTables = 7
+		perTable := make([]*SQT16, numTables)
+		memoized := make([]*SQT16, numTables)
+		for i := range perTable {
+			perTable[i] = NewSQT16(hot, MaxDiff8)
+			memoized[i] = NewSQT16(hot, MaxDiff8)
+		}
+		geomH, geomD := memoized[0].Geometry()
+		if geomH != min(hot, int(MaxDiff8)+1) || geomD != MaxDiff8 {
+			t.Fatalf("Geometry() = (%d, %d), want (%d, %d)", geomH, geomD, hot, MaxDiff8)
+		}
+		for row := 0; row < 20; row++ {
+			n := 1 + rng.Intn(32)
+			res := make([]int16, n)
+			entry := make([]int16, n)
+			for j := range res {
+				res[j] = int16(rng.Intn(511) - 255)
+				entry[j] = int16(rng.Intn(511) - 255)
+			}
+			// Reference: every table replays the stream privately.
+			for _, tab := range perTable {
+				tab.CountColdRow(res, entry)
+			}
+			// Memoized: one stats-free replay, applied arithmetically.
+			cold := memoized[0].ColdCountRow(res, entry)
+			for _, tab := range memoized {
+				tab.AddStats(uint64(n)-cold, cold)
+			}
+		}
+		for i := range perTable {
+			if perTable[i].Stats() != memoized[i].Stats() {
+				t.Fatalf("trial %d table %d: memoized stats %+v != replayed %+v",
+					trial, i, memoized[i].Stats(), perTable[i].Stats())
+			}
+		}
+	}
+}
+
+// The ISSUE-2 micro-benchmark: the engine's LC replay for one (query,
+// cluster) group across 64 DPUs — per-DPU replay (the retained reference
+// accountant) vs one memoized ColdCountRow application. The stream is one
+// CB x dsub codebook block, the unit chargeLC replays per subquantizer.
+
+func replayGroupFixture() (tables []*SQT16, res []int16, entries [][]int16) {
+	rng := rand.New(rand.NewSource(8))
+	const numDPUs, cb, dsub = 64, 64, 8
+	tables = make([]*SQT16, numDPUs)
+	for i := range tables {
+		tables[i] = NewSQT16(8192, MaxDiff8)
+	}
+	res = make([]int16, dsub)
+	for j := range res {
+		res[j] = int16(rng.Intn(101) - 50)
+	}
+	entries = make([][]int16, cb)
+	for e := range entries {
+		entries[e] = make([]int16, dsub)
+		for j := range entries[e] {
+			entries[e][j] = int16(rng.Intn(511) - 255)
+		}
+	}
+	return tables, res, entries
+}
+
+func BenchmarkSQT16ReplayPerDPU(b *testing.B) {
+	tables, res, entries := replayGroupFixture()
+	for i := 0; i < b.N; i++ {
+		for _, tab := range tables {
+			for _, entry := range entries {
+				tab.CountColdRow(res, entry)
+			}
+		}
+	}
+}
+
+func BenchmarkSQT16ReplayMemoized(b *testing.B) {
+	tables, res, entries := replayGroupFixture()
+	elems := uint64(len(entries) * len(res))
+	for i := 0; i < b.N; i++ {
+		var cold uint64
+		for _, entry := range entries {
+			cold += tables[0].ColdCountRow(res, entry)
+		}
+		for _, tab := range tables {
+			tab.AddStats(elems-cold, cold)
+		}
+	}
+}

@@ -110,6 +110,21 @@ func (t *SQT16) Square(d int32) (uint32, bool) {
 // the engine replays the full M x CB x dsub stream per LUT build. res and
 // entry must have equal length.
 func (t *SQT16) CountColdRow(res, entry []int16) uint64 {
+	cold := t.ColdCountRow(res, entry)
+	t.stats.Hot += uint64(len(res)) - cold
+	t.stats.Cold += cold
+	return cold
+}
+
+// ColdCountRow is the stats-free twin of CountColdRow: it replays the
+// |res[j]-entry[j]| diff stream and returns the cold-lookup count without
+// touching the hit/miss counters. It only reads the table's geometry, so
+// concurrent calls on a shared table are safe. This is the memoization hook
+// for engines that run many DPUs with identically-shaped tables: the replay
+// runs once per unique (query, cluster) group, and the returned count is
+// applied to each DPU's table arithmetically via AddStats — exactly the
+// statistics a private per-DPU replay would accumulate.
+func (t *SQT16) ColdCountRow(res, entry []int16) uint64 {
 	var cold uint64
 	hotMax, maxDiff := t.hotMax, t.maxDiff
 	for j, r := range res {
@@ -124,9 +139,24 @@ func (t *SQT16) CountColdRow(res, entry []int16) uint64 {
 			cold++
 		}
 	}
-	t.stats.Hot += uint64(len(res)) - cold
-	t.stats.Cold += cold
 	return cold
+}
+
+// AddStats credits pre-counted hot and cold lookups to the table's
+// counters, the arithmetic twin of replaying the same diff stream against
+// this table. Callers must only apply counts obtained from a table with the
+// same geometry (see Geometry).
+func (t *SQT16) AddStats(hot, cold uint64) {
+	t.stats.Hot += hot
+	t.stats.Cold += cold
+}
+
+// Geometry returns the parameters that determine hot/cold classification:
+// the WRAM-resident entry count and the operand domain bound. Two tables
+// with equal geometry classify every lookup identically, which is the
+// invariant behind memoized replay (ColdCountRow + AddStats).
+func (t *SQT16) Geometry() (hotEntries int, maxDiff int32) {
+	return int(t.hotMax), t.maxDiff
 }
 
 // Stats returns the accumulated hot/cold counters.

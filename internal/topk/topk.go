@@ -13,7 +13,7 @@ import (
 	"cmp"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // Item is a candidate neighbor: an ID and its distance to the query.
@@ -22,13 +22,20 @@ type Item[D cmp.Ordered] struct {
 	Dist D
 }
 
-// Less imposes the deterministic total order used across the repository:
-// ascending distance, ties broken by ascending ID.
-func Less[D cmp.Ordered](a, b Item[D]) bool {
-	if a.Dist != b.Dist {
-		return a.Dist < b.Dist
+// compare is the canonical deterministic total order used across the
+// repository — ascending distance, ties broken by ascending ID — as a
+// three-way comparison. Less, SortItems and Bound.Accepts all derive from
+// it.
+func compare[D cmp.Ordered](a, b Item[D]) int {
+	if c := cmp.Compare(a.Dist, b.Dist); c != 0 {
+		return c
 	}
-	return a.ID < b.ID
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// Less reports whether a precedes b in the deterministic total order.
+func Less[D cmp.Ordered](a, b Item[D]) bool {
+	return compare(a, b) < 0
 }
 
 // Heap is a bounded max-heap holding the k smallest items pushed so far.
@@ -74,6 +81,40 @@ func (h *Heap[D]) WouldAccept(id int32, dist D) bool {
 		return true
 	}
 	return Less(Item[D]{ID: id, Dist: dist}, h.items[0])
+}
+
+// Bound is a register-resident copy of a heap's acceptance threshold — the
+// cached fast path of WouldAccept for kernels that test millions of
+// candidates against a rarely-changing top-k bound. Capture it with
+// Heap.Bound, test candidates with Accepts, and re-capture after every Push
+// (the only operation that moves the threshold). The zero Bound accepts
+// everything, matching a non-full heap.
+type Bound[D cmp.Ordered] struct {
+	full  bool
+	worst Item[D]
+}
+
+// Bound returns the heap's current acceptance bound.
+func (h *Heap[D]) Bound() Bound[D] {
+	if len(h.items) < h.k {
+		return Bound[D]{}
+	}
+	return Bound[D]{full: true, worst: h.items[0]}
+}
+
+// Accepts reports whether a Push of (id, dist) would change the heap the
+// bound was captured from — exactly WouldAccept at capture time. The body
+// open-codes Less((id, dist), worst) because this is a per-candidate call
+// in simulation kernels and the delegated form falls out of the compiler's
+// inlining budget; TestBoundMatchesWouldAccept pins the equivalence.
+func (b *Bound[D]) Accepts(id int32, dist D) bool {
+	if !b.full {
+		return true
+	}
+	if dist != b.worst.Dist {
+		return dist < b.worst.Dist
+	}
+	return id < b.worst.ID
 }
 
 // Push offers an item; it returns true if the item was retained.
@@ -146,7 +187,7 @@ func (h *Heap[D]) siftDown(i int) {
 
 // SortItems sorts items in place into the deterministic ascending order.
 func SortItems[D cmp.Ordered](items []Item[D]) {
-	sort.Slice(items, func(i, j int) bool { return Less(items[i], items[j]) })
+	slices.SortFunc(items, compare[D])
 }
 
 // BitonicSort sorts items in place into the deterministic ascending order

@@ -245,3 +245,28 @@ func TestSortedInto(t *testing.T) {
 		t.Fatal("SortedInto mutated the heap")
 	}
 }
+
+// TestBoundMatchesWouldAccept: the cached-threshold fast path must agree
+// with WouldAccept at every step of a randomized push sequence, provided the
+// bound is re-captured after each push.
+func TestBoundMatchesWouldAccept(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(8)
+		h := NewHeap[uint32](k)
+		bound := h.Bound()
+		for i := 0; i < 200; i++ {
+			id := int32(rng.Intn(64))
+			dist := uint32(rng.Intn(16)) // narrow range to force distance ties
+			want := h.WouldAccept(id, dist)
+			if got := bound.Accepts(id, dist); got != want {
+				t.Fatalf("trial %d step %d: Accepts(%d, %d) = %v, WouldAccept = %v (heap %+v)",
+					trial, i, id, dist, got, want, h.items)
+			}
+			if want {
+				h.Push(id, dist)
+				bound = h.Bound()
+			}
+		}
+	}
+}

@@ -227,6 +227,10 @@ func (d *DPU) DMA(p Phase, bytes uint64) {
 	d.phases[p].DMABytes += bytes
 }
 
+// dmaOverlap is the number of fine-grained DMA setups the per-DPU engine can
+// overlap (double-buffering, per the PrIM small-transfer characterization).
+const dmaOverlap = 2
+
 // RandomAccess accounts n fine-grained MRAM accesses issued without WRAM
 // buffering: each is a minimum-granularity (8-byte) DMA on the single
 // per-DPU DMA engine, which can double-buffer (overlap two setups) but no
@@ -234,9 +238,59 @@ func (d *DPU) DMA(p Phase, bytes uint64) {
 // unbuffered SQT/LUT/metadata access so expensive on real UPMEM hardware and
 // what the paper's buffer optimization removes (Figure 12b).
 func (d *DPU) RandomAccess(p Phase, n uint64) {
-	const dmaOverlap = 2
 	d.phases[p].DMACount += (n + dmaOverlap - 1) / dmaOverlap
 	d.phases[p].DMABytes += 8 * n
+}
+
+// Tally is a register-resident batch of cost charges. Hot simulation kernels
+// accumulate instruction, DMA and random-access costs into a private Tally
+// and flush it to a DPU's phase counters once per slice or launch
+// (ApplyTally) instead of charging the shared counters per operation. Every
+// accumulation uses exactly the arithmetic of the corresponding DPU method —
+// including the per-call coalescing rule of RandomAccess — and all counters
+// are uint64 sums, so a flushed Tally yields bit-identical phase statistics
+// to charging per op.
+type Tally struct {
+	compute  [NumPhases]uint64
+	dmaCount [NumPhases]uint64
+	dmaBytes [NumPhases]uint64
+}
+
+// Charge accounts n instructions of class op against phase p (the Tally twin
+// of DPU.Charge; cost supplies the per-class cycle weights).
+func (t *Tally) Charge(cost *CostModel, p Phase, op Op, n uint64) {
+	t.compute[p] += cost.Cycles(op, n)
+}
+
+// ChargeCycles accounts raw cycles against phase p.
+func (t *Tally) ChargeCycles(p Phase, cycles uint64) {
+	t.compute[p] += cycles
+}
+
+// DMA accounts one MRAM<->WRAM transfer of the given size against phase p.
+func (t *Tally) DMA(p Phase, bytes uint64) {
+	t.dmaCount[p]++
+	t.dmaBytes[p] += bytes
+}
+
+// RandomAccess accounts n fine-grained MRAM accesses against phase p with
+// the same per-call coalescing as DPU.RandomAccess (callers must keep the
+// call granularity of the per-op path for bit-identical DMA counts).
+func (t *Tally) RandomAccess(p Phase, n uint64) {
+	t.dmaCount[p] += (n + dmaOverlap - 1) / dmaOverlap
+	t.dmaBytes[p] += 8 * n
+}
+
+// Reset zeroes the tally for reuse.
+func (t *Tally) Reset() { *t = Tally{} }
+
+// ApplyTally adds a tally's accumulated costs to the DPU's phase counters.
+func (d *DPU) ApplyTally(t *Tally) {
+	for p := Phase(0); p < NumPhases; p++ {
+		d.phases[p].ComputeCycles += t.compute[p]
+		d.phases[p].DMACount += t.dmaCount[p]
+		d.phases[p].DMABytes += t.dmaBytes[p]
+	}
 }
 
 // AllocWRAM reserves scratchpad bytes; it fails when the 64 KB WRAM would be

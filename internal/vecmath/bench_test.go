@@ -54,6 +54,90 @@ func BenchmarkADCU32M16(b *testing.B) {
 	}
 }
 
+// adcFixture builds an M-row LUT plus n packed code rows shaped like the
+// engine's DC kernel input (one cluster slice).
+func adcFixture(m, cb, n int) (lut []uint32, codes []uint16) {
+	rng := rand.New(rand.NewSource(3))
+	lut = make([]uint32, m*cb)
+	for i := range lut {
+		lut[i] = rng.Uint32()
+	}
+	codes = make([]uint16, n*m)
+	for i := range codes {
+		codes[i] = uint16(rng.Intn(cb))
+	}
+	return lut, codes
+}
+
+// The ISSUE-2 ADC micro-benchmarks: generic per-point loop vs the unrolled
+// M=16 kernel vs the batch dispatcher vs the decomposed residual batch. The
+// engine's DC phase runs one of the batch variants per cluster slice.
+
+func BenchmarkADCU32GenericLoop(b *testing.B) {
+	const m, cb, n = 16, 256, 1024
+	lut, codes := adcFixture(m, cb, n)
+	b.SetBytes(int64(n * m * 2))
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < n; p++ {
+			sink += ADCU32(lut, codes[p*m:(p+1)*m], cb)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkADCU32M16Unrolled(b *testing.B) {
+	const m, cb, n = 16, 256, 1024
+	lut, codes := adcFixture(m, cb, n)
+	b.SetBytes(int64(n * m * 2))
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < n; p++ {
+			sink += ADCU32M16(lut, codes[p*m:(p+1)*m], cb)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkADCBatchU32M16(b *testing.B) {
+	const m, cb, n = 16, 256, 1024
+	lut, codes := adcFixture(m, cb, n)
+	dst := make([]uint32, n)
+	b.SetBytes(int64(n * m * 2))
+	for i := 0; i < b.N; i++ {
+		ADCBatchU32(dst, lut, codes, m, cb)
+	}
+}
+
+func BenchmarkADCBatchU32M8(b *testing.B) {
+	const m, cb, n = 8, 256, 1024
+	lut, codes := adcFixture(m, cb, n)
+	dst := make([]uint32, n)
+	b.SetBytes(int64(n * m * 2))
+	for i := 0; i < b.N; i++ {
+		ADCBatchU32(dst, lut, codes, m, cb)
+	}
+}
+
+func BenchmarkADCResidualBatchM16(b *testing.B) {
+	const m, cb, n = 16, 256, 1024
+	_, codes := adcFixture(m, cb, n)
+	rng := rand.New(rand.NewSource(4))
+	qe := make([]int32, m*cb)
+	for i := range qe {
+		qe[i] = int32(rng.Intn(1 << 20))
+	}
+	bsum := make([]int32, n)
+	for i := range bsum {
+		bsum[i] = int32(rng.Intn(1 << 24))
+	}
+	dst := make([]uint32, n)
+	b.SetBytes(int64(n * m * 2))
+	for i := 0; i < b.N; i++ {
+		ADCResidualBatch(dst, qe, codes, bsum, 12345, m, cb)
+	}
+}
+
 func BenchmarkArgMinL2F32(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	const k, dim = 1024, 128

@@ -37,6 +37,35 @@ func L2SquaredU8(a, b []uint8) uint32 {
 	return sum
 }
 
+// L2SquaredU8Abandon computes L2SquaredU8(a, b) with early abandonment: it
+// checks the running sum against bound every 16 elements and returns
+// (partial, false) as soon as the partial sum exceeds bound. Squared terms
+// only grow the sum, so a partial sum above bound proves the full distance
+// is above it too — callers that reject distances strictly greater than
+// bound get exactly the decisions a full evaluation would produce. When the
+// scan completes, the exact distance is returned with true (it may still
+// exceed bound if the final stretch crossed it).
+func L2SquaredU8Abandon(a, b []uint8, bound uint32) (uint32, bool) {
+	_ = b[len(a)-1]
+	var sum uint32
+	n := len(a)
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		for j := i; j < i+16; j++ {
+			d := int32(a[j]) - int32(b[j])
+			sum += uint32(d * d)
+		}
+		if sum > bound {
+			return sum, false
+		}
+	}
+	for ; i < n; i++ {
+		d := int32(a[i]) - int32(b[i])
+		sum += uint32(d * d)
+	}
+	return sum, true
+}
+
 // L2SquaredI16 returns the squared Euclidean distance between two int16
 // vectors of equal length, as used on the PIM integer path (residual vs
 // quantized codebook entry).
@@ -211,6 +240,174 @@ func ADCU32(lut []uint32, code []uint16, cb int) uint32 {
 		sum += lut[m*cb+int(c)]
 	}
 	return sum
+}
+
+// ADCU32M8 is ADCU32 specialized for M=8: fully unrolled with four
+// independent accumulators so the gathers overlap instead of serializing on
+// one addition chain. uint32 addition is associative mod 2^32, so the result
+// is bit-identical to ADCU32.
+func ADCU32M8(lut []uint32, code []uint16, cb int) uint32 {
+	_ = code[7]
+	s0 := lut[int(code[0])] + lut[4*cb+int(code[4])]
+	s1 := lut[cb+int(code[1])] + lut[5*cb+int(code[5])]
+	s2 := lut[2*cb+int(code[2])] + lut[6*cb+int(code[6])]
+	s3 := lut[3*cb+int(code[3])] + lut[7*cb+int(code[7])]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// ADCU32M16 is ADCU32 specialized for M=16 (four 4-term accumulators).
+func ADCU32M16(lut []uint32, code []uint16, cb int) uint32 {
+	_ = code[15]
+	s0 := lut[int(code[0])] + lut[4*cb+int(code[4])] +
+		lut[8*cb+int(code[8])] + lut[12*cb+int(code[12])]
+	s1 := lut[cb+int(code[1])] + lut[5*cb+int(code[5])] +
+		lut[9*cb+int(code[9])] + lut[13*cb+int(code[13])]
+	s2 := lut[2*cb+int(code[2])] + lut[6*cb+int(code[6])] +
+		lut[10*cb+int(code[10])] + lut[14*cb+int(code[14])]
+	s3 := lut[3*cb+int(code[3])] + lut[7*cb+int(code[7])] +
+		lut[11*cb+int(code[11])] + lut[15*cb+int(code[15])]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// adcU32M16CB256 is ADCU32M16 further specialized for CB=256: each row is
+// re-sliced to a provable length of 256 and indexed through a &255 mask, so
+// the compiler drops every gather bounds check. Codes must be < 256 (the
+// packing guarantees it for CB=256 indexes).
+func adcU32M16CB256(lut []uint32, code []uint16) uint32 {
+	_ = code[15]
+	_ = lut[16*256-1]
+	r0, r4 := lut[0*256:][:256], lut[4*256:][:256]
+	r8, r12 := lut[8*256:][:256], lut[12*256:][:256]
+	s0 := r0[code[0]&255] + r4[code[4]&255] + r8[code[8]&255] + r12[code[12]&255]
+	r1, r5 := lut[1*256:][:256], lut[5*256:][:256]
+	r9, r13 := lut[9*256:][:256], lut[13*256:][:256]
+	s1 := r1[code[1]&255] + r5[code[5]&255] + r9[code[9]&255] + r13[code[13]&255]
+	r2, r6 := lut[2*256:][:256], lut[6*256:][:256]
+	r10, r14 := lut[10*256:][:256], lut[14*256:][:256]
+	s2 := r2[code[2]&255] + r6[code[6]&255] + r10[code[10]&255] + r14[code[14]&255]
+	r3, r7 := lut[3*256:][:256], lut[7*256:][:256]
+	r11, r15 := lut[11*256:][:256], lut[15*256:][:256]
+	s3 := r3[code[3]&255] + r7[code[7]&255] + r11[code[11]&255] + r15[code[15]&255]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// ADCBatchU32 fills dst[i] with the ADC distance of point i over the packed
+// code matrix (n rows of m entries), dispatching to the unrolled M=8/M=16
+// kernels when they apply. Results are bit-identical to calling ADCU32 per
+// row.
+func ADCBatchU32(dst []uint32, lut []uint32, codes []uint16, m, cb int) {
+	switch {
+	case m == 16 && cb == 256:
+		for i := range dst {
+			dst[i] = adcU32M16CB256(lut, codes[i*16:i*16+16])
+		}
+	case m == 8:
+		for i := range dst {
+			dst[i] = ADCU32M8(lut, codes[i*8:i*8+8], cb)
+		}
+	case m == 16:
+		for i := range dst {
+			dst[i] = ADCU32M16(lut, codes[i*16:i*16+16], cb)
+		}
+	default:
+		for i := range dst {
+			dst[i] = ADCU32(lut, codes[i*m:(i+1)*m], cb)
+		}
+	}
+}
+
+// qeSumM8 gathers the per-query decomposition term Σ_m qe[m*cb+code_m] for
+// one M=8 code row (int32 domain, four accumulators).
+func qeSumM8(qe []int32, code []uint16, cb int) int32 {
+	_ = code[7]
+	s0 := qe[int(code[0])] + qe[4*cb+int(code[4])]
+	s1 := qe[cb+int(code[1])] + qe[5*cb+int(code[5])]
+	s2 := qe[2*cb+int(code[2])] + qe[6*cb+int(code[6])]
+	s3 := qe[3*cb+int(code[3])] + qe[7*cb+int(code[7])]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// qeSumM16 is qeSumM8 for M=16.
+func qeSumM16(qe []int32, code []uint16, cb int) int32 {
+	_ = code[15]
+	s0 := qe[int(code[0])] + qe[4*cb+int(code[4])] +
+		qe[8*cb+int(code[8])] + qe[12*cb+int(code[12])]
+	s1 := qe[cb+int(code[1])] + qe[5*cb+int(code[5])] +
+		qe[9*cb+int(code[9])] + qe[13*cb+int(code[13])]
+	s2 := qe[2*cb+int(code[2])] + qe[6*cb+int(code[6])] +
+		qe[10*cb+int(code[10])] + qe[14*cb+int(code[14])]
+	s3 := qe[3*cb+int(code[3])] + qe[7*cb+int(code[7])] +
+		qe[11*cb+int(code[11])] + qe[15*cb+int(code[15])]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// qeSum is the generic-width fallback of qeSumM8/qeSumM16.
+func qeSum(qe []int32, code []uint16, cb int) int32 {
+	var s int32
+	for m, c := range code {
+		s += qe[m*cb+int(c)]
+	}
+	return s
+}
+
+// qeSumM16CB256 is qeSumM16 with the bounds checks dropped via the CB=256
+// masked-index trick of adcU32M16CB256.
+func qeSumM16CB256(qe []int32, code []uint16) int32 {
+	_ = code[15]
+	_ = qe[16*256-1]
+	r0, r4 := qe[0*256:][:256], qe[4*256:][:256]
+	r8, r12 := qe[8*256:][:256], qe[12*256:][:256]
+	s0 := r0[code[0]&255] + r4[code[4]&255] + r8[code[8]&255] + r12[code[12]&255]
+	r1, r5 := qe[1*256:][:256], qe[5*256:][:256]
+	r9, r13 := qe[9*256:][:256], qe[13*256:][:256]
+	s1 := r1[code[1]&255] + r5[code[5]&255] + r9[code[9]&255] + r13[code[13]&255]
+	r2, r6 := qe[2*256:][:256], qe[6*256:][:256]
+	r10, r14 := qe[10*256:][:256], qe[14*256:][:256]
+	s2 := r2[code[2]&255] + r6[code[6]&255] + r10[code[10]&255] + r14[code[14]&255]
+	r3, r7 := qe[3*256:][:256], qe[7*256:][:256]
+	r11, r15 := qe[11*256:][:256], qe[15*256:][:256]
+	s3 := r3[code[3]&255] + r7[code[7]&255] + r11[code[11]&255] + r15[code[15]&255]
+	return (s0 + s1) + (s2 + s3)
+}
+
+// ADCResidualBatch fills dst[i] = uint32(base + bsum[i] - 2*Σ_m
+// qe[m*cb+code_im]) — the algebraically decomposed twin of ADCBatchU32: base
+// is the per-(query, cluster) scalar term, bsum the precomputed static
+// per-point term, and qe the per-query gather table (see ivf.LUTBuilder).
+// Every partial sum stays far below int32 overflow, so the result is
+// bit-identical to materializing the group's LUT and summing it with
+// ADCBatchU32.
+func ADCResidualBatch(dst []uint32, qe []int32, codes []uint16, bsum []int32, base int32, m, cb int) {
+	_ = bsum[len(dst)-1]
+	switch {
+	case m == 16 && cb == 256:
+		for i := range dst {
+			dst[i] = uint32(base + bsum[i] - 2*qeSumM16CB256(qe, codes[i*16:i*16+16]))
+		}
+	case m == 8:
+		for i := range dst {
+			dst[i] = uint32(base + bsum[i] - 2*qeSumM8(qe, codes[i*8:i*8+8], cb))
+		}
+	case m == 16:
+		for i := range dst {
+			dst[i] = uint32(base + bsum[i] - 2*qeSumM16(qe, codes[i*16:i*16+16], cb))
+		}
+	default:
+		for i := range dst {
+			dst[i] = uint32(base + bsum[i] - 2*qeSum(qe, codes[i*m:(i+1)*m], cb))
+		}
+	}
+}
+
+// DotU8I32 returns the exact int32 inner product of two uint8 vectors of
+// equal length (bounded by dim * 255^2, far below overflow for dim <= 2^15).
+func DotU8I32(a, b []uint8) int32 {
+	_ = b[len(a)-1]
+	var s int32
+	for i, av := range a {
+		s += int32(av) * int32(b[i])
+	}
+	return s
 }
 
 // MeanVec computes the per-dimension mean of a flat corpus with n rows of

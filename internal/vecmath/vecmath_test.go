@@ -252,3 +252,142 @@ func TestQuantizerErrorBoundProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestADCUnrolledVariantsMatchGeneric: the M=8/M=16 unrolled kernels, the
+// batch dispatcher, and the decomposed residual batch must all be
+// bit-identical to the scalar reference loop.
+func TestADCUnrolledVariantsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range []int{4, 8, 16} {
+		for _, cb := range []int{16, 64, 256} {
+			lut := make([]uint32, m*cb)
+			for i := range lut {
+				// Large values exercise uint32 wraparound in the sums.
+				lut[i] = rng.Uint32()
+			}
+			const n = 37
+			codes := make([]uint16, n*m)
+			for i := range codes {
+				codes[i] = uint16(rng.Intn(cb))
+			}
+
+			want := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				want[i] = ADCU32(lut, codes[i*m:(i+1)*m], cb)
+			}
+			got := make([]uint32, n)
+			ADCBatchU32(got, lut, codes, m, cb)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("M=%d CB=%d point %d: batch %d != reference %d", m, cb, i, got[i], want[i])
+				}
+			}
+			switch m {
+			case 8:
+				for i := 0; i < n; i++ {
+					if v := ADCU32M8(lut, codes[i*8:i*8+8], cb); v != want[i] {
+						t.Fatalf("ADCU32M8 CB=%d point %d: %d != %d", cb, i, v, want[i])
+					}
+				}
+			case 16:
+				for i := 0; i < n; i++ {
+					if v := ADCU32M16(lut, codes[i*16:i*16+16], cb); v != want[i] {
+						t.Fatalf("ADCU32M16 CB=%d point %d: %d != %d", cb, i, v, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestADCResidualBatchMatchesMaterializedLUT: summing a materialized LUT
+// whose entries are uint32(p + b[e] - 2*qe[e]) must equal the decomposed
+// per-point evaluation for every M dispatch width.
+func TestADCResidualBatchMatchesMaterializedLUT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, m := range []int{4, 8, 16} {
+		const cb = 64
+		qe := make([]int32, m*cb)
+		b := make([]int32, m*cb)
+		lut := make([]uint32, m*cb)
+		base := int32(rng.Intn(1<<20) - 1<<19)
+		perRow := base / int32(m)
+		rem := base - perRow*int32(m)
+		for i := range qe {
+			qe[i] = int32(rng.Intn(1 << 20))
+			b[i] = int32(rng.Intn(1 << 20))
+			p := perRow
+			if i/cb == 0 {
+				p += rem
+			}
+			lut[i] = uint32(p + b[i] - 2*qe[i])
+		}
+		const n = 29
+		codes := make([]uint16, n*m)
+		bsum := make([]int32, n)
+		for i := 0; i < n; i++ {
+			for mi := 0; mi < m; mi++ {
+				codes[i*m+mi] = uint16(rng.Intn(cb))
+				bsum[i] += b[mi*cb+int(codes[i*m+mi])]
+			}
+		}
+		want := make([]uint32, n)
+		ADCBatchU32(want, lut, codes, m, cb)
+		got := make([]uint32, n)
+		ADCResidualBatch(got, qe, codes, bsum, base, m, cb)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("M=%d point %d: decomposed %d != materialized %d", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotU8I32(t *testing.T) {
+	a := []uint8{255, 0, 3, 255}
+	b := []uint8{255, 9, 2, 1}
+	want := int32(255*255 + 0 + 6 + 255)
+	if got := DotU8I32(a, b); got != want {
+		t.Fatalf("DotU8I32 = %d, want %d", got, want)
+	}
+}
+
+// TestL2SquaredU8AbandonExact: whenever the bounded scan completes, the
+// distance equals the full evaluation; whenever it abandons, the true
+// distance is strictly above the bound (so a caller rejecting > bound makes
+// identical decisions either way).
+func TestL2SquaredU8AbandonExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(200)
+		a := make([]uint8, n)
+		b := make([]uint8, n)
+		for i := range a {
+			a[i] = uint8(rng.Intn(256))
+			b[i] = uint8(rng.Intn(256))
+		}
+		want := L2SquaredU8(a, b)
+		var bound uint32
+		switch rng.Intn(3) {
+		case 0:
+			bound = want // completing scans must return exactly want
+		case 1:
+			bound = want / 2
+		default:
+			bound = uint32(rng.Intn(1 << 22))
+		}
+		got, done := L2SquaredU8Abandon(a, b, bound)
+		if done {
+			if got != want {
+				t.Fatalf("trial %d: completed scan returned %d, want %d", trial, got, want)
+			}
+		} else {
+			if want <= bound {
+				t.Fatalf("trial %d: abandoned although true distance %d <= bound %d", trial, want, bound)
+			}
+			if got <= bound {
+				t.Fatalf("trial %d: abandoned with partial %d <= bound %d", trial, got, bound)
+			}
+		}
+	}
+}
