@@ -28,6 +28,18 @@
 // QPS and the CL stage cost; see the benchEntry schema in selfbench.go.
 // Compare runs with e.g.
 // `jq '.[] | {timestamp, go_max_procs, speedup_vs_prev_entry, wall_qps}' BENCH_core.json`.
+//
+// Serving-layer mode (-serve) drives the online micro-batching server
+// (drimann.NewServer) with a closed-loop load generator instead of one
+// offline SearchBatch: -clients concurrent callers issue single queries
+// (optionally paced to an aggregate -qps target) for -servedur, through a
+// batcher configured by -maxwait/-maxbatch. Client-observed p50/p95/p99
+// Search latency and achieved QPS are appended to the same trajectory file
+// as mode:"serve" entries:
+//
+//	drim-bench -serve                                # unthrottled, 8 clients
+//	drim-bench -serve -clients 32 -maxwait 500us
+//	drim-bench -serve -qps 2000 -servedur 10s
 package main
 
 import (
@@ -50,12 +62,31 @@ func main() {
 		dpus       = flag.Int("dpus", 0, "override simulated DPU count")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
 		selfBench  = flag.Bool("bench", false, "benchmark the simulator itself (wall clock) instead of running experiments")
-		benchOut   = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench")
+		benchOut   = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench/-serve")
 		benchRuns  = flag.Int("benchruns", 3, "repetitions per -bench measurement (best is recorded)")
 		benchProcs = flag.String("benchprocs", "1,max", "comma-separated GOMAXPROCS sweep for -bench (max = NumCPU)")
-		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench")
+		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench/-serve")
+		serveBench = flag.Bool("serve", false, "closed-loop load-generator benchmark over the online serving layer")
+		clients    = flag.Int("clients", 8, "-serve: concurrent closed-loop clients")
+		qps        = flag.Float64("qps", 0, "-serve: aggregate pacing target in queries/s (0 = unthrottled)")
+		maxWait    = flag.Duration("maxwait", 200*time.Microsecond, "-serve: micro-batcher max wait")
+		maxBatch   = flag.Int("maxbatch", 0, "-serve: micro-batcher max batch (0 = engine batch size)")
+		serveDur   = flag.Duration("servedur", 5*time.Second, "-serve: measurement window")
 	)
 	flag.Parse()
+
+	if *serveBench {
+		if *selfBench || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -serve excludes -bench/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runServeBench(*n, *queries, *dpus, *seed, *clients, *qps,
+			*maxWait, *maxBatch, *serveDur, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *selfBench {
 		if *small || *expFlag != "" {

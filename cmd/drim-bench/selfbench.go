@@ -23,6 +23,11 @@ import (
 type benchEntry struct {
 	// Note is free-form context for the entry (what changed in this PR).
 	Note string `json:"note,omitempty"`
+	// Mode distinguishes entry kinds: "" (legacy/default) is the offline
+	// -bench measurement, "serve" the -serve closed-loop load-generator
+	// measurement over the online serving layer. Cross-PR comparisons only
+	// match entries of the same mode.
+	Mode string `json:"mode,omitempty"`
 	// Timestamp is the measurement time (RFC 3339, UTC).
 	Timestamp string `json:"timestamp"`
 	// GoMaxProcs is the GOMAXPROCS the measurement ran under; -bench sweeps
@@ -62,9 +67,31 @@ type benchEntry struct {
 	WallQPS float64 `json:"wall_qps"`
 	SimQPS  float64 `json:"sim_qps"`
 
-	// LocateSec/LocateQPS measure the batched CL stage alone.
+	// LocateSec/LocateQPS measure the batched CL stage alone. Not omitempty:
+	// the fields predate the serve mode and historical entries carry them
+	// explicitly, so marshaling must keep old records byte-stable.
 	LocateSec float64 `json:"locate_seconds"`
 	LocateQPS float64 `json:"locate_qps"`
+
+	// Serve-mode fields (mode == "serve"): the closed-loop load-generator
+	// configuration and its outcome. Clients is the concurrent caller
+	// count; TargetQPS the aggregate pacing target (0 = unthrottled);
+	// MaxWaitMS / MaxBatch the batcher policy; DurSec the measurement
+	// window. AchievedQPS counts completed requests over the window;
+	// P50/P95/P99MS are client-observed Search latencies; MeanBatch the
+	// completed-weighted mean launch size. For serve entries,
+	// SpeedupVsPrev is this AchievedQPS over the previous comparable
+	// entry's (>1 = faster serving).
+	Clients     int     `json:"clients,omitempty"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	MaxWaitMS   float64 `json:"max_wait_ms,omitempty"`
+	MaxBatch    int     `json:"max_batch,omitempty"`
+	DurSec      float64 `json:"duration_seconds,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps,omitempty"`
+	P50MS       float64 `json:"p50_ms,omitempty"`
+	P95MS       float64 `json:"p95_ms,omitempty"`
+	P99MS       float64 `json:"p99_ms,omitempty"`
+	MeanBatch   float64 `json:"mean_batch,omitempty"`
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -254,13 +281,24 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, o
 	return nil
 }
 
-// lastComparable returns the most recent prior entry measuring the same
-// fixture shape at the same GOMAXPROCS, or nil.
+// lastComparable returns the most recent prior entry of the same mode
+// measuring the same fixture shape at the same GOMAXPROCS (and, for serve
+// entries, the same load-generator configuration), or nil.
 func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 	for i := len(prior) - 1; i >= 0; i-- {
 		p := &prior[i]
-		if p.GoMaxProcs == e.GoMaxProcs && p.N == e.N && p.D == e.D &&
-			p.Queries == e.Queries && p.DPUs == e.DPUs && p.PipelinedSec > 0 {
+		if p.Mode != e.Mode || p.GoMaxProcs != e.GoMaxProcs || p.N != e.N ||
+			p.D != e.D || p.Queries != e.Queries || p.DPUs != e.DPUs {
+			continue
+		}
+		if e.Mode == "serve" {
+			if p.Clients == e.Clients && p.TargetQPS == e.TargetQPS &&
+				p.MaxWaitMS == e.MaxWaitMS && p.MaxBatch == e.MaxBatch && p.AchievedQPS > 0 {
+				return p
+			}
+			continue
+		}
+		if p.PipelinedSec > 0 {
 			return p
 		}
 	}

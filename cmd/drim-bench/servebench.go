@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/serve"
+)
+
+// runServeBench is the -serve mode: a closed-loop load generator over the
+// online serving layer. It builds the same SIFT-shaped fixture as -bench,
+// starts a serve.Server over the engine, and drives it with `clients`
+// concurrent callers for `dur`, each caller issuing its next query as soon
+// as the previous one answers (optionally paced to an aggregate `qps`
+// target). Client-observed Search latencies yield p50/p95/p99; one
+// mode:"serve" entry is appended to the trajectory file at outPath.
+func runServeBench(n, queries, dpus int, seed int64, clients int, qps float64,
+	maxWait time.Duration, maxBatch int, dur time.Duration, note, outPath string) error {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	if dpus <= 0 {
+		dpus = core.DefaultOptions().NumDPUs
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+
+	fmt.Printf("drim-bench serve benchmark: N=%d queries=%d DPUs=%d clients=%d qps=%v maxwait=%s maxbatch=%d dur=%s\n",
+		n, queries, dpus, clients, qps, maxWait, maxBatch, dur)
+	s := dataset.SIFT(n, queries, seed)
+	t0 := time.Now()
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       1024,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 4,
+		TrainSample: 8000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
+
+	opts := core.DefaultOptions()
+	opts.NumDPUs = dpus
+	eng, err := core.New(ix, dataset.U8Set{}, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(eng, serve.Options{MaxBatch: maxBatch, MaxWait: maxWait})
+	if err != nil {
+		return err
+	}
+
+	// Closed loop with optional pacing: client c issues request i at
+	// start + (i*clients+c)/qps when a target rate is set, otherwise
+	// back-to-back. Latencies are client-observed (queueing + batching +
+	// launch), which is what an end user sees.
+	var (
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+		completed int
+		clientErr error
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			defer func() {
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				completed += len(local)
+				latMu.Unlock()
+			}()
+			for i := 0; ; i++ {
+				if qps > 0 {
+					at := start.Add(time.Duration(float64(i*clients+c) / qps * float64(time.Second)))
+					if at.After(deadline) {
+						break // next paced slot lands outside the window
+					}
+					if wait := time.Until(at); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				if time.Now().After(deadline) {
+					break
+				}
+				qi := (i*clients + c) % queries
+				t := time.Now()
+				if _, err := srv.Search(context.Background(), s.Queries.Vec(qi), 0); err != nil {
+					// No error is expected inside the window; fail the run
+					// rather than record a partial measurement.
+					latMu.Lock()
+					if clientErr == nil {
+						clientErr = fmt.Errorf("serve client %d: %w", c, err)
+					}
+					latMu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if clientErr != nil {
+		return clientErr
+	}
+	if completed == 0 {
+		return fmt.Errorf("serve benchmark completed no requests")
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration { return serve.LatencyPercentile(latencies, p) }
+	st := srv.Stats()
+	achieved := float64(completed) / elapsed.Seconds()
+	fmt.Printf("  %d requests in %.2fs: %.0f QPS achieved (mean batch %.1f, %d launches)\n",
+		completed, elapsed.Seconds(), achieved, st.MeanBatch, st.Batches)
+	fmt.Printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms  (queue depth at end %d)\n",
+		pct(0.50).Seconds()*1e3, pct(0.95).Seconds()*1e3, pct(0.99).Seconds()*1e3, st.QueueDepth)
+
+	var trajectory []benchEntry
+	raw, err := os.ReadFile(outPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", outPath, err)
+		}
+	case !os.IsNotExist(err):
+		return fmt.Errorf("reading %s: %w", outPath, err)
+	}
+
+	entry := benchEntry{
+		Note:       note,
+		Mode:       "serve",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N:          n, D: s.Base.D, Queries: queries, Runs: 1,
+		DPUs:        dpus,
+		Clients:     clients,
+		TargetQPS:   qps,
+		MaxWaitMS:   maxWait.Seconds() * 1e3,
+		MaxBatch:    srv.Options().MaxBatch,
+		DurSec:      elapsed.Seconds(),
+		AchievedQPS: achieved,
+		P50MS:       pct(0.50).Seconds() * 1e3,
+		P95MS:       pct(0.95).Seconds() * 1e3,
+		P99MS:       pct(0.99).Seconds() * 1e3,
+		MeanBatch:   st.MeanBatch,
+		WallQPS:     achieved,
+		SimQPS:      st.Sim.QPS,
+	}
+	if prev := lastComparable(trajectory, entry); prev != nil && prev.AchievedQPS > 0 {
+		entry.SpeedupVsPrev = achieved / prev.AchievedQPS
+		fmt.Printf("  vs previous serve entry (%s): %.2fx\n", prev.Timestamp, entry.SpeedupVsPrev)
+	}
+	trajectory = append(trajectory, entry)
+
+	raw, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded serve entry in %s (total %d)\n", outPath, len(trajectory))
+	return nil
+}

@@ -1,18 +1,26 @@
 // Command drim-search builds a DRIM-ANN index over a corpus (a .bvecs file
-// or a generated synthetic dataset) and serves a query batch on the
-// simulated UPMEM system, reporting QPS, recall and the phase breakdown.
+// or a generated synthetic dataset) and serves a query workload through the
+// online serving layer (drimann.NewServer) on the simulated UPMEM system:
+// concurrent clients submit single queries, the deadline-aware micro-batcher
+// coalesces them into engine launches, and the tool reports achieved QPS,
+// client-observed latency percentiles, recall and the phase breakdown.
 //
 // Usage:
 //
 //	drim-search -dataset SIFT -n 100000 -queries 1000 -nlist 1024 -nprobe 32
 //	drim-search -base corpus.bvecs -query queries.bvecs -nlist 4096
+//	drim-search -clients 16 -maxwait 500us -maxbatch 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"drimann"
 	"drimann/internal/dataset"
@@ -23,20 +31,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drim-search: ")
 	var (
-		dsName  = flag.String("dataset", "SIFT", "synthetic dataset shape: SIFT, DEEP, SPACEV, T2I")
-		n       = flag.Int("n", 100000, "synthetic corpus size")
-		queries = flag.Int("queries", 1000, "synthetic query count")
-		baseF   = flag.String("base", "", "optional .bvecs corpus file (overrides -dataset)")
-		queryF  = flag.String("query", "", "optional .bvecs query file (with -base)")
-		nlist   = flag.Int("nlist", 1024, "number of coarse clusters")
-		m       = flag.Int("m", 16, "PQ subvectors")
-		cb      = flag.Int("cb", 256, "PQ codebook entries")
-		variant = flag.String("variant", "pq", "quantizer variant: pq, opq, dpq")
-		nprobe  = flag.Int("nprobe", 32, "clusters probed per query")
-		k       = flag.Int("k", 10, "neighbors per query")
-		dpus    = flag.Int("dpus", 128, "simulated DPUs")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		showGT  = flag.Bool("recall", true, "compute exact ground truth and recall (brute force)")
+		dsName   = flag.String("dataset", "SIFT", "synthetic dataset shape: SIFT, DEEP, SPACEV, T2I")
+		n        = flag.Int("n", 100000, "synthetic corpus size")
+		queries  = flag.Int("queries", 1000, "synthetic query count")
+		baseF    = flag.String("base", "", "optional .bvecs corpus file (overrides -dataset)")
+		queryF   = flag.String("query", "", "optional .bvecs query file (with -base)")
+		nlist    = flag.Int("nlist", 1024, "number of coarse clusters")
+		m        = flag.Int("m", 16, "PQ subvectors")
+		cb       = flag.Int("cb", 256, "PQ codebook entries")
+		variant  = flag.String("variant", "pq", "quantizer variant: pq, opq, dpq")
+		nprobe   = flag.Int("nprobe", 32, "clusters probed per query")
+		k        = flag.Int("k", 10, "neighbors per query")
+		dpus     = flag.Int("dpus", 128, "simulated DPUs")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		showGT   = flag.Bool("recall", true, "compute exact ground truth and recall (brute force)")
+		clients  = flag.Int("clients", 8, "concurrent serving clients")
+		maxWait  = flag.Duration("maxwait", 200*time.Microsecond, "micro-batcher max wait")
+		maxBatch = flag.Int("maxbatch", 0, "micro-batcher max batch (0 = engine batch size)")
 	)
 	flag.Parse()
 
@@ -71,6 +82,9 @@ func main() {
 		base, qs = s.Base, s.Queries
 	}
 	fmt.Printf("corpus: %d x %d, queries: %d\n", base.N, base.D, qs.N)
+	if qs.N == 0 {
+		log.Fatal("no queries to serve")
+	}
 
 	ix, err := drimann.Build(base, drimann.IndexOptions{
 		NList: *nlist, M: *m, CB: *cb, Variant: *variant, Seed: *seed,
@@ -89,13 +103,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.SearchBatch(qs)
+	srv, err := drimann.NewServer(eng, drimann.ServerOptions{
+		MaxBatch: *maxBatch, MaxWait: *maxWait,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2 := res.Metrics
-	fmt.Printf("\nsimulated on %d DPUs: %.0f QPS (%.2f ms batch, %d launches, imbalance %.2f)\n",
-		*dpus, m2.QPS, m2.SimSeconds*1e3, m2.Launches, m2.AvgImbalance())
+
+	// Drive every query through the server from concurrent clients — the
+	// online path a real workload takes — collecting per-query results and
+	// client-observed latencies.
+	ids := make([][]int32, qs.N)
+	latencies := make([]time.Duration, qs.N)
+	var wg sync.WaitGroup
+	nClients := *clients
+	if nClients < 1 {
+		nClients = 1
+	}
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := c; qi < qs.N; qi += nClients {
+				resp, err := srv.Search(context.Background(), qs.Vec(qi), *k)
+				if err != nil {
+					log.Fatalf("query %d: %v", qi, err)
+				}
+				ids[qi] = resp.IDs
+				latencies[qi] = resp.Latency
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := srv.Stats()
+	m2 := st.Sim
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		return drimann.LatencyPercentile(latencies, p).Seconds() * 1e3
+	}
+	fmt.Printf("\nserved %d queries with %d clients in %.2fs: %.0f QPS achieved (wall), %.0f QPS simulated on %d DPUs\n",
+		qs.N, nClients, wall.Seconds(), float64(qs.N)/wall.Seconds(), m2.QPS, *dpus)
+	fmt.Printf("latency p50 %.3fms  p95 %.3fms  p99 %.3fms; %d launches, mean batch %.1f, imbalance %.2f\n",
+		pct(0.50), pct(0.95), pct(0.99), st.Batches, st.MeanBatch, m2.AvgImbalance())
 	fmt.Printf("phase breakdown: ")
 	sh := m2.PhaseShare()
 	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
@@ -109,10 +164,10 @@ func main() {
 
 	if *showGT {
 		gt := drimann.GroundTruth(base, qs, *k, 0)
-		fmt.Printf("recall@%d = %.4f\n", *k, drimann.Recall(gt, res.IDs, *k))
+		fmt.Printf("recall@%d = %.4f\n", *k, drimann.Recall(gt, ids, *k))
 	}
-	if len(res.IDs) > 0 {
-		fmt.Printf("query 0 neighbors: %v\n", res.IDs[0])
+	if len(ids) > 0 {
+		fmt.Printf("query 0 neighbors: %v\n", ids[0])
 	}
 	os.Exit(0)
 }

@@ -42,6 +42,30 @@
 // GOMAXPROCS sweep) for cross-PR comparison; see cmd/drim-bench for the
 // entry schema.
 //
+// # Online serving
+//
+// SearchBatch is an offline primitive: one caller, one pre-assembled query
+// set. NewServer wraps an engine in the online serving layer
+// (internal/serve): a concurrent, deadline-aware dynamic micro-batcher
+// that accepts single queries from many goroutines (Server.Search),
+// coalesces them into engine launches, and demultiplexes per-query results.
+// A single batcher goroutine owns the engine and cycles idle -> collecting
+// -> launching: the first query of a batch starts a ServerOptions.MaxWait
+// countdown, further queries are absorbed until the batch reaches
+// MaxBatch, the countdown expires, or a member's context deadline demands
+// an early launch (the batcher tracks an EWMA of launch service times and
+// launches once now + estimate reaches the earliest deadline). Cancellation
+// is honored while a request is queued; once launched, its result is
+// delivered regardless (delivery never blocks the batcher). The arrival
+// queue is bounded — a full queue blocks Search, turning overload into
+// caller-side backpressure rather than memory growth — and Close drains:
+// admitted requests are still answered, later Search calls fail fast with
+// ErrServerClosed. Per-query results are bit-identical to a single
+// SearchBatch over the same queries regardless of how arrivals split into
+// micro-batches (the equivalence suite in internal/serve pins this).
+// `drim-bench -serve` runs a closed-loop load generator against the server
+// and records p50/p95/p99 latency and achieved QPS into BENCH_core.json.
+//
 // Quick start:
 //
 //	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data
@@ -54,10 +78,13 @@
 package drimann
 
 import (
+	"time"
+
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
 	"drimann/internal/pq"
+	"drimann/internal/serve"
 )
 
 // Vectors is a flat corpus of N uint8 vectors of dimension D.
@@ -140,6 +167,40 @@ func DefaultEngineOptions() EngineOptions { return core.DefaultOptions() }
 // the layout optimizer.
 func NewEngine(ix *Index, profile Vectors, opts EngineOptions) (*Engine, error) {
 	return core.New(ix, profile, opts)
+}
+
+// Server is the online serving layer: a concurrent, deadline-aware dynamic
+// micro-batcher over one Engine. See the "Online serving" section of the
+// package documentation.
+type Server = serve.Server
+
+// ServerOptions configures the micro-batching policy (max batch, max wait,
+// queue bound, deadline EWMA seed).
+type ServerOptions = serve.Options
+
+// ServerStats is a snapshot of a Server's serving metrics (queue depth,
+// latency, batch sizes, aggregated simulation metrics).
+type ServerStats = serve.Stats
+
+// ServerResponse is one query's answer from a Server.
+type ServerResponse = serve.Response
+
+// ErrServerClosed is returned by Server.Search once Close has stopped
+// admission.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer starts the online serving layer over eng. The server becomes
+// the engine's only driver: do not call eng.SearchBatch concurrently with
+// a live server.
+func NewServer(eng *Engine, opt ServerOptions) (*Server, error) {
+	return serve.New(eng, opt)
+}
+
+// LatencyPercentile returns the p-th (0..1) nearest-rank percentile of
+// sorted (ascending) latencies, or 0 for an empty slice — the helper load
+// generators use to report p50/p95/p99 of Server.Search latencies.
+func LatencyPercentile(sorted []time.Duration, p float64) time.Duration {
+	return serve.LatencyPercentile(sorted, p)
 }
 
 // GroundTruth computes exact top-k neighbors by parallel brute force.

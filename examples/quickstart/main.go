@@ -1,10 +1,14 @@
 // Quickstart: build a DRIM-ANN index over a synthetic SIFT-shaped corpus,
-// deploy it on the simulated UPMEM DRAM-PIM system, and run a query batch.
+// deploy it on the simulated UPMEM DRAM-PIM system, run a query batch, and
+// serve single queries online through the micro-batching server.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"drimann"
 )
@@ -51,4 +55,43 @@ func main() {
 	gt := drimann.GroundTruth(corpus.Base, corpus.Queries, 10, 0)
 	fmt.Printf("recall@10 = %.3f\n", drimann.Recall(gt, res.IDs, 10))
 	fmt.Printf("query 0 -> %v\n", res.IDs[0])
+
+	// 6. Online serving: wrap the engine in the deadline-aware
+	//    micro-batching server and submit single queries from concurrent
+	//    goroutines, the way live traffic arrives. Per-query results are
+	//    bit-identical to the offline batch above.
+	// With 4 closed-loop clients at most 4 queries are ever in flight, so
+	// here the 500us MaxWait is what triggers each launch; MaxBatch only
+	// kicks in under higher concurrency (see examples/loadbalance).
+	srv, err := drimann.NewServer(eng, drimann.ServerOptions{
+		MaxBatch: 64,
+		MaxWait:  500 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := c; qi < 64; qi += 4 {
+				resp, err := srv.Search(context.Background(), corpus.Queries.Vec(qi), 10)
+				if err != nil {
+					log.Fatalf("query %d: %v", qi, err)
+				}
+				if qi == 0 {
+					fmt.Printf("served query 0 in %s (batch of %d) -> %v\n",
+						resp.Latency.Round(time.Microsecond), resp.BatchSize, resp.IDs)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	fmt.Printf("served %d queries in %d launches (mean batch %.1f)\n",
+		st.Completed, st.Batches, st.MeanBatch)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

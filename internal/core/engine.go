@@ -421,6 +421,53 @@ type Result struct {
 	Metrics Metrics
 }
 
+// QueryResult is one query's slice of a Result: the neighbor IDs in the
+// deterministic (distance, id) order and the scored items behind them. The
+// slices are views into the Result, not copies; they stay valid after the
+// engine moves on to other batches.
+type QueryResult struct {
+	IDs   []int32
+	Items []topk.Item[uint32]
+}
+
+// Query slices out query qi's results — the demultiplexing primitive of the
+// online serving layer, which fans one SearchBatch across many callers.
+func (r *Result) Query(qi int) QueryResult {
+	return QueryResult{IDs: r.IDs[qi], Items: r.Items[qi]}
+}
+
+// Merge accumulates o into m: query counts, durations and every counter
+// sum; QPS is recomputed from the merged totals. The serving layer uses it
+// to aggregate per-launch SearchBatch metrics into a lifetime view whose
+// derived quantities (AvgImbalance, SQT16HitRate, PhaseShare) keep working.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Queries += o.Queries
+	m.SimSeconds += o.SimSeconds
+	m.HostSeconds += o.HostSeconds
+	m.PIMSeconds += o.PIMSeconds
+	m.XferSeconds += o.XferSeconds
+	for p := range m.PhaseSeconds {
+		m.PhaseSeconds[p] += o.PhaseSeconds[p]
+		m.PhaseComputeCycles[p] += o.PhaseComputeCycles[p]
+		m.PhaseDMACount[p] += o.PhaseDMACount[p]
+		m.PhaseDMABytes[p] += o.PhaseDMABytes[p]
+	}
+	m.Launches += o.Launches
+	m.Batches += o.Batches
+	m.ImbalanceSum += o.ImbalanceSum
+	m.Postponed += o.Postponed
+	m.LockAcquired += o.LockAcquired
+	m.LockSkipped += o.LockSkipped
+	m.LUTBuilds += o.LUTBuilds
+	m.LUTReuses += o.LUTReuses
+	m.PointsScanned += o.PointsScanned
+	m.SQT16Hot += o.SQT16Hot
+	m.SQT16Cold += o.SQT16Cold
+	if m.SimSeconds > 0 {
+		m.QPS = float64(m.Queries) / m.SimSeconds
+	}
+}
+
 // New builds an engine: it sizes the PIM system, profiles cluster heat on
 // the provided profile queries (or falls back to cluster sizes), optimizes
 // the data layout, and checks that everything fits MRAM and WRAM.
@@ -618,6 +665,17 @@ func (e *Engine) System() *upmem.System { return e.sys }
 
 // Index returns the underlying IVF-PQ index.
 func (e *Engine) Index() *ivf.Index { return e.ix }
+
+// K reports the configured neighbors-per-query.
+func (e *Engine) K() int { return e.opts.K }
+
+// Dim reports the vector dimensionality queries must match.
+func (e *Engine) Dim() int { return e.ix.Dim }
+
+// MaxBatch reports the engine's scheduling batch size — the natural upper
+// bound for a serving-layer micro-batch (larger launches are split into
+// several scheduling batches anyway).
+func (e *Engine) MaxBatch() int { return e.opts.BatchSize }
 
 // taskCostCycles predicts DC+TS cycles for scanning n points — the
 // scheduler's heat estimate (Equations 8-11 restricted to the dominant

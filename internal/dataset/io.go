@@ -12,6 +12,14 @@ import (
 // one record per vector: a little-endian int32 dimension followed by dim
 // elements (float32, uint8, or int32 respectively).
 
+// MaxVecDim bounds the per-record dimension the readers accept. The header
+// is attacker-controlled in the sense that a corrupt or truncated file can
+// claim any int32; without a cap, a single bogus header would drive a
+// multi-gigabyte allocation and crash the process instead of returning an
+// error. Real embedding corpora top out in the low thousands of
+// dimensions, so 2^20 is far beyond anything legitimate.
+const MaxVecDim = 1 << 20
+
 // WriteFvecs writes a float32 set in fvecs format.
 func WriteFvecs(w io.Writer, s F32Set) error {
 	bw := bufio.NewWriter(w)
@@ -39,7 +47,7 @@ func ReadFvecs(r io.Reader) (F32Set, error) {
 		if err != nil {
 			return out, fmt.Errorf("dataset: read fvecs dim: %w", err)
 		}
-		if dim <= 0 {
+		if dim <= 0 || dim > MaxVecDim {
 			return out, fmt.Errorf("dataset: invalid fvecs dim %d", dim)
 		}
 		if out.D == 0 {
@@ -83,7 +91,7 @@ func ReadBvecs(r io.Reader) (U8Set, error) {
 		if err != nil {
 			return out, fmt.Errorf("dataset: read bvecs dim: %w", err)
 		}
-		if dim <= 0 {
+		if dim <= 0 || dim > MaxVecDim {
 			return out, fmt.Errorf("dataset: invalid bvecs dim %d", dim)
 		}
 		if out.D == 0 {
@@ -127,7 +135,7 @@ func ReadIvecs(r io.Reader) ([][]int32, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: read ivecs dim: %w", err)
 		}
-		if dim < 0 {
+		if dim < 0 || dim > MaxVecDim {
 			return nil, fmt.Errorf("dataset: invalid ivecs dim %d", dim)
 		}
 		row := make([]int32, dim)

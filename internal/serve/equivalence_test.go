@@ -1,0 +1,188 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/serve"
+)
+
+// testEngine builds a small shared fixture: a clustered synthetic corpus,
+// an IVF-PQ index and an engine. The engine is deterministic, so the same
+// instance can serve a direct SearchBatch reference and then (serially)
+// one server after another.
+func testEngine(t testing.TB, n, queries int) (*core.Engine, *dataset.Synth) {
+	t.Helper()
+	s := dataset.Generate(dataset.SynthConfig{
+		Name: "serve", N: n, D: 64, NumQueries: queries,
+		NumClusters: 48, Seed: 11, Noise: 9,
+	})
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       64,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 6,
+		TrainSample: 3000,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.NumDPUs = 16
+	opts.NProbe = 8
+	opts.K = 10
+	eng, err := core.New(ix, s.Queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, s
+}
+
+// submitAll drives every query through the server according to pattern and
+// returns per-query responses indexed like the query set. Any Search error
+// fails the test.
+func submitAll(t *testing.T, srv *serve.Server, qs dataset.U8Set, pattern string, chunk int) []serve.Response {
+	t.Helper()
+	out := make([]serve.Response, qs.N)
+	search := func(qi int) {
+		resp, err := srv.Search(context.Background(), qs.Vec(qi), 0)
+		if err != nil {
+			t.Errorf("query %d: %v", qi, err)
+			return
+		}
+		out[qi] = resp
+	}
+	switch pattern {
+	case "burst":
+		// Every query in flight at once from its own goroutine.
+		var wg sync.WaitGroup
+		for qi := 0; qi < qs.N; qi++ {
+			wg.Add(1)
+			go func(qi int) { defer wg.Done(); search(qi) }(qi)
+		}
+		wg.Wait()
+	case "trickle":
+		// Strictly sequential closed loop: at most one query queued, so the
+		// batcher sees a stream of singletons.
+		for qi := 0; qi < qs.N; qi++ {
+			search(qi)
+		}
+	case "boundary":
+		// Adversarial chunks straddling the batch boundary (chunk-1, chunk,
+		// chunk+1, ...) with a gap between chunks so each chunk tends to
+		// form its own launch.
+		var wg sync.WaitGroup
+		qi := 0
+		for step := 0; qi < qs.N; step++ {
+			size := chunk - 1 + step%3
+			if size < 1 {
+				size = 1
+			}
+			for j := 0; j < size && qi < qs.N; j++ {
+				wg.Add(1)
+				go func(qi int) { defer wg.Done(); search(qi) }(qi)
+				qi++
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+		wg.Wait()
+	default:
+		t.Fatalf("unknown pattern %q", pattern)
+	}
+	return out
+}
+
+// TestServeEquivalence is the property test that makes the serving layer
+// shippable: for every tested batcher config and arrival pattern, each
+// query's IDs and Items through the server are bit-identical to one direct
+// SearchBatch over the full query set. This holds because the engine's
+// per-query result is the top-k of the query's candidate multiset under
+// the deterministic (distance, id) total order, which is independent of
+// how queries are grouped into launches.
+func TestServeEquivalence(t *testing.T) {
+	eng, s := testEngine(t, 6000, 96)
+	ref, err := eng.SearchBatch(s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, maxBatch := range []int{1, 7, 64} {
+		for _, maxWait := range []time.Duration{0, time.Millisecond} {
+			for _, pattern := range []string{"burst", "trickle", "boundary"} {
+				name := fmt.Sprintf("maxBatch=%d/maxWait=%s/%s", maxBatch, maxWait, pattern)
+				t.Run(name, func(t *testing.T) {
+					srv, err := serve.New(eng, serve.Options{
+						MaxBatch: maxBatch,
+						MaxWait:  maxWait,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer srv.Close()
+					got := submitAll(t, srv, s.Queries, pattern, maxBatch)
+					if t.Failed() {
+						t.FailNow()
+					}
+					for qi := range got {
+						if !reflect.DeepEqual(got[qi].IDs, ref.IDs[qi]) {
+							t.Fatalf("query %d IDs diverge:\n  server %v\n  batch  %v",
+								qi, got[qi].IDs, ref.IDs[qi])
+						}
+						if !reflect.DeepEqual(got[qi].Items, ref.Items[qi]) {
+							t.Fatalf("query %d Items diverge:\n  server %v\n  batch  %v",
+								qi, got[qi].Items, ref.Items[qi])
+						}
+					}
+					st := srv.Stats()
+					if st.Completed != uint64(s.Queries.N) {
+						t.Fatalf("completed %d of %d", st.Completed, s.Queries.N)
+					}
+					if maxBatch == 1 && st.MeanBatch != 1 {
+						t.Fatalf("maxBatch=1 mean batch = %v", st.MeanBatch)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestServeTruncatesToK pins the per-request k semantics: k <= 0 selects
+// the engine K, a smaller k truncates the deterministic prefix, and a
+// larger k is rejected.
+func TestServeTruncatesToK(t *testing.T) {
+	eng, s := testEngine(t, 3000, 8)
+	srv, err := serve.New(eng, serve.Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	full, err := srv.Search(context.Background(), s.Queries.Vec(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.IDs) != eng.K() {
+		t.Fatalf("k=0 returned %d ids, want %d", len(full.IDs), eng.K())
+	}
+	three, err := srv.Search(context.Background(), s.Queries.Vec(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(three.IDs, full.IDs[:3]) {
+		t.Fatalf("k=3 not a prefix: %v vs %v", three.IDs, full.IDs)
+	}
+	if _, err := srv.Search(context.Background(), s.Queries.Vec(0), eng.K()+1); err == nil {
+		t.Fatal("k > engine K should fail")
+	}
+	if _, err := srv.Search(context.Background(), s.Queries.Vec(0)[:8], 0); err == nil {
+		t.Fatal("wrong dimension should fail")
+	}
+}

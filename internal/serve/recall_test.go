@@ -1,0 +1,104 @@
+package serve_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/serve"
+)
+
+// goldenRecall pins recall@10 through the server path for each dataset
+// shape, at fixed seeds and configs. Every stage is deterministic (index
+// training, cluster locating, the integer kernels, the (distance, id)
+// total order), so the values are exact — a scheduler or batcher change
+// that reorders, drops or duplicates results moves recall by at least
+// 1/(queries*k) = 1e-3, five orders of magnitude above the tolerance.
+var goldenRecall = map[string]struct {
+	synth  func(n, q int, seed int64) *dataset.Synth
+	m      int
+	recall float64
+}{
+	"SIFT":   {dataset.SIFT, 16, 0.674},
+	"DEEP":   {dataset.DEEP, 16, 0.694},
+	"SPACEV": {dataset.SPACEV, 20, 0.759},
+	"T2I":    {dataset.T2I, 20, 0.659},
+}
+
+// TestServeGoldenRecall runs each fixture's queries through a concurrent
+// server and checks recall@10 against the pinned value.
+func TestServeGoldenRecall(t *testing.T) {
+	const (
+		n       = 10000
+		queries = 100
+		k       = 10
+	)
+	for name, g := range goldenRecall {
+		t.Run(name, func(t *testing.T) {
+			s := g.synth(n, queries, 42)
+			ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+				NList:       128,
+				PQ:          pq.Config{M: g.m, CB: 256},
+				KMeansIters: 6,
+				TrainSample: 4000,
+				Seed:        42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.DefaultOptions()
+			opts.NumDPUs = 32
+			opts.NProbe = 16
+			opts.K = k
+			eng, err := core.New(ix, s.Queries, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := serve.New(eng, serve.Options{
+				MaxBatch: 32,
+				MaxWait:  500 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			got := make([][]int32, queries)
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for qi := c; qi < queries; qi += 4 {
+						resp, err := srv.Search(context.Background(), s.Queries.Vec(qi), k)
+						if err != nil {
+							t.Errorf("query %d: %v", qi, err)
+							return
+						}
+						got[qi] = resp.IDs
+					}
+				}(c)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			gt := dataset.GroundTruth(s.Base, s.Queries, k, 0)
+			r := dataset.Recall(gt, got, k)
+			if g.recall < 0 {
+				t.Fatalf("golden value not pinned yet: measured recall@10 = %.6f", r)
+			}
+			if math.Abs(r-g.recall) > 1e-8 {
+				t.Fatalf("recall@10 = %.6f, pinned %.6f — the serving path changed result content",
+					r, g.recall)
+			}
+		})
+	}
+}
