@@ -40,6 +40,17 @@
 //	drim-bench -serve                                # unthrottled, 8 clients
 //	drim-bench -serve -clients 32 -maxwait 500us
 //	drim-bench -serve -qps 2000 -servedur 10s
+//
+// Cluster mode (-shards N) measures the scatter-gather sharding layer:
+// the corpus is partitioned across N shard engines (each simulating -dpus
+// DPUs, so the fleet models N x dpus devices), one query batch fans out to
+// every shard in parallel and the per-shard top-k lists merge into the
+// global answer — verified identical to the unsharded single engine on the
+// same index, then recorded as a mode:"cluster" entry (shard count,
+// assignment policy, fleet wall/sim QPS, speedup vs the single engine):
+//
+//	drim-bench -shards 4                             # hash partitioning
+//	drim-bench -shards 8 -assign kmeans -dpus 64
 package main
 
 import (
@@ -67,6 +78,8 @@ func main() {
 		benchProcs = flag.String("benchprocs", "1,max", "comma-separated GOMAXPROCS sweep for -bench (max = NumCPU)")
 		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench/-serve")
 		serveBench = flag.Bool("serve", false, "closed-loop load-generator benchmark over the online serving layer")
+		shards     = flag.Int("shards", 0, "cluster mode: scatter-gather benchmark over this many shard engines (-dpus is per shard)")
+		assignFlag = flag.String("assign", "hash", "-shards: partitioning policy (hash or kmeans)")
 		clients    = flag.Int("clients", 8, "-serve: concurrent closed-loop clients")
 		qps        = flag.Float64("qps", 0, "-serve: aggregate pacing target in queries/s (0 = unthrottled)")
 		maxWait    = flag.Duration("maxwait", 200*time.Microsecond, "-serve: micro-batcher max wait")
@@ -74,6 +87,19 @@ func main() {
 		serveDur   = flag.Duration("servedur", 5*time.Second, "-serve: measurement window")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		if *selfBench || *serveBench || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -shards excludes -bench/-serve/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runClusterBench(*n, *queries, *dpus, *seed, *shards, *assignFlag,
+			*benchRuns, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveBench {
 		if *selfBench || *small || *expFlag != "" {

@@ -25,8 +25,9 @@ type benchEntry struct {
 	Note string `json:"note,omitempty"`
 	// Mode distinguishes entry kinds: "" (legacy/default) is the offline
 	// -bench measurement, "serve" the -serve closed-loop load-generator
-	// measurement over the online serving layer. Cross-PR comparisons only
-	// match entries of the same mode.
+	// measurement over the online serving layer, "cluster" the -shards
+	// scatter-gather measurement over the sharded fleet. Cross-PR
+	// comparisons only match entries of the same mode.
 	Mode string `json:"mode,omitempty"`
 	// Timestamp is the measurement time (RFC 3339, UTC).
 	Timestamp string `json:"timestamp"`
@@ -92,6 +93,18 @@ type benchEntry struct {
 	P95MS       float64 `json:"p95_ms,omitempty"`
 	P99MS       float64 `json:"p99_ms,omitempty"`
 	MeanBatch   float64 `json:"mean_batch,omitempty"`
+
+	// Cluster-mode fields (mode == "cluster"): Shards is the fleet size
+	// (DPUs above is per shard), Assignment the partitioning policy. For
+	// cluster entries PipelinedSec/WallQPS measure the scatter-gather
+	// Cluster.SearchBatch wall clock, SerialSec/SpeedupVsSerial the
+	// single-engine (unsharded) reference over the same index in the same
+	// build, and SimQPS the fleet's modeled throughput (max-over-shards
+	// latency accounting). SpeedupVsPrev only compares against earlier
+	// cluster entries with the same fixture shape, shard count and
+	// assignment.
+	Shards     int    `json:"shards,omitempty"`
+	Assignment string `json:"assignment,omitempty"`
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -282,8 +295,12 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, o
 }
 
 // lastComparable returns the most recent prior entry of the same mode
-// measuring the same fixture shape at the same GOMAXPROCS (and, for serve
-// entries, the same load-generator configuration), or nil.
+// measuring the same fixture shape at the same GOMAXPROCS — and, per mode,
+// the same configuration: serve entries must match the load-generator
+// setup, cluster entries the shard count and assignment policy. Entries of
+// different modes never compare (an offline -bench second count and a
+// cluster scatter-gather second count are different phenomena even on the
+// same fixture), so speedup_vs_prev_entry always tracks like against like.
 func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 	for i := len(prior) - 1; i >= 0; i-- {
 		p := &prior[i]
@@ -291,15 +308,20 @@ func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 			p.D != e.D || p.Queries != e.Queries || p.DPUs != e.DPUs {
 			continue
 		}
-		if e.Mode == "serve" {
+		switch e.Mode {
+		case "serve":
 			if p.Clients == e.Clients && p.TargetQPS == e.TargetQPS &&
 				p.MaxWaitMS == e.MaxWaitMS && p.MaxBatch == e.MaxBatch && p.AchievedQPS > 0 {
 				return p
 			}
-			continue
-		}
-		if p.PipelinedSec > 0 {
-			return p
+		case "cluster":
+			if p.Shards == e.Shards && p.Assignment == e.Assignment && p.PipelinedSec > 0 {
+				return p
+			}
+		default:
+			if p.PipelinedSec > 0 {
+				return p
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+// TestLastComparableModeIsolation pins the trajectory-comparison rules:
+// speedup_vs_prev_entry must never compare entries across modes, and
+// cluster entries additionally require the same shard count and assignment
+// policy (a 2-shard and a 7-shard wall clock are different phenomena).
+func TestLastComparableModeIsolation(t *testing.T) {
+	shape := func(e benchEntry) benchEntry {
+		e.GoMaxProcs, e.N, e.D, e.Queries, e.DPUs = 4, 100000, 128, 1000, 64
+		return e
+	}
+	bench := shape(benchEntry{Timestamp: "t0", PipelinedSec: 1.0})
+	serve := shape(benchEntry{Timestamp: "t1", Mode: "serve", Clients: 8, MaxBatch: 256,
+		AchievedQPS: 2500, PipelinedSec: 0})
+	cl2hash := shape(benchEntry{Timestamp: "t2", Mode: "cluster", Shards: 2,
+		Assignment: "hash", PipelinedSec: 0.5})
+	cl7hash := shape(benchEntry{Timestamp: "t3", Mode: "cluster", Shards: 7,
+		Assignment: "hash", PipelinedSec: 0.3})
+	cl2km := shape(benchEntry{Timestamp: "t4", Mode: "cluster", Shards: 2,
+		Assignment: "kmeans", PipelinedSec: 0.6})
+	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km}
+
+	cases := []struct {
+		name string
+		e    benchEntry
+		want string // timestamp of expected match, "" = no match
+	}{
+		{"bench matches bench only", shape(benchEntry{PipelinedSec: 0.9}), "t0"},
+		{"serve matches same config", shape(benchEntry{Mode: "serve", Clients: 8,
+			MaxBatch: 256, AchievedQPS: 3000}), "t1"},
+		{"serve config change no match", shape(benchEntry{Mode: "serve", Clients: 64,
+			MaxBatch: 256, AchievedQPS: 3000}), ""},
+		{"cluster matches same shards+assign", shape(benchEntry{Mode: "cluster",
+			Shards: 2, Assignment: "hash", PipelinedSec: 0.4}), "t2"},
+		{"cluster shard count isolates", shape(benchEntry{Mode: "cluster",
+			Shards: 3, Assignment: "hash", PipelinedSec: 0.4}), ""},
+		{"cluster assignment isolates", shape(benchEntry{Mode: "cluster",
+			Shards: 7, Assignment: "kmeans", PipelinedSec: 0.4}), ""},
+		{"cluster kmeans matches kmeans", shape(benchEntry{Mode: "cluster",
+			Shards: 2, Assignment: "kmeans", PipelinedSec: 0.4}), "t4"},
+		{"cluster never matches bench shape", shape(benchEntry{Mode: "cluster",
+			Shards: 0, Assignment: "", PipelinedSec: 0.4}), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := lastComparable(prior, c.e)
+			switch {
+			case c.want == "" && got != nil:
+				t.Fatalf("matched %q, want no match", got.Timestamp)
+			case c.want != "" && got == nil:
+				t.Fatalf("no match, want %q", c.want)
+			case c.want != "" && got.Timestamp != c.want:
+				t.Fatalf("matched %q, want %q", got.Timestamp, c.want)
+			}
+		})
+	}
+	// Fixture-shape mismatch always isolates, regardless of mode.
+	off := shape(benchEntry{PipelinedSec: 0.9})
+	off.DPUs = 128
+	if lastComparable(prior, off) != nil {
+		t.Fatal("different fixture shape must not match")
+	}
+}

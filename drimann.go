@@ -66,6 +66,35 @@
 // `drim-bench -serve` runs a closed-loop load generator against the server
 // and records p50/p95/p99 latency and achieved QPS into BENCH_core.json.
 //
+// # Sharded serving
+//
+// One Engine simulates one PIM system; the rack-scale deployments the paper
+// targets spread the corpus over many UPMEM ranks. BuildSharded (or
+// NewCluster over a pre-built index) partitions a corpus across S
+// independent engines behind one scatter-gather front: all shards share the
+// index's quantizers (centroid directory and PQ codebooks, replicated the
+// way every rank holds the small directory), while the inverted lists are
+// split either point-wise by a deterministic ID hash (near-perfect
+// per-query balance) or whole-cluster-wise by balanced k-means bin packing
+// (each inverted list wholly on one shard, which skips non-owned probes).
+// Each shard runs in a compact local ID space with a monotone local→global
+// remap table, so Cluster.SearchBatch — which fans the query batch to every
+// shard in parallel and merges the per-shard partial top-k — returns IDs
+// and Items bit-identical to a single-engine SearchBatch over the unsharded
+// corpus (the equivalence suite in internal/cluster pins this for S ∈
+// {1, 2, 7}). Merged Metrics are the cross-shard parallel view: counters
+// sum, wall-like durations are max-over-shards (the fleet is as slow as its
+// slowest rank), QPS is recomputed from the merged totals.
+//
+// For online traffic, NewClusterServer puts one micro-batching Server in
+// front of every shard engine and exposes a single Search front door: the
+// query is validated and copied once, scattered to every shard server
+// concurrently, and the per-shard responses are merged into the global
+// top-k. Per-shard batching policy, backpressure, cancellation and draining
+// Close behave exactly as for a single Server; `drim-bench -shards N` runs
+// the offline scatter-gather path and records mode:"cluster" entries in
+// BENCH_core.json.
+//
 // Quick start:
 //
 //	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data
@@ -80,6 +109,7 @@ package drimann
 import (
 	"time"
 
+	"drimann/internal/cluster"
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
@@ -196,11 +226,83 @@ func NewServer(eng *Engine, opt ServerOptions) (*Server, error) {
 	return serve.New(eng, opt)
 }
 
-// LatencyPercentile returns the p-th (0..1) nearest-rank percentile of
-// sorted (ascending) latencies, or 0 for an empty slice — the helper load
-// generators use to report p50/p95/p99 of Server.Search latencies.
+// LatencyPercentile returns the p-th nearest-rank percentile of latencies —
+// the helper load generators use to report p50/p95/p99 of Server.Search
+// latencies. The contract is nearest-rank over a pre-sorted sample:
+//
+//   - sorted MUST already be in ascending order; the function indexes the
+//     slice as-is and returns whatever sits at the nearest-rank position,
+//     so unsorted input yields a well-defined but meaningless value (no
+//     error is raised — sorting here would hide the caller's bug and cost
+//     O(n log n) per call).
+//   - p is a fraction in (0, 1]: the returned value is element
+//     ceil(p*n)-1, so p=1 is the maximum and small samples never
+//     under-report the tail.
+//   - p <= 0 clamps to the minimum (element 0) rather than erroring, and
+//     p > 1 clamps to the maximum; an empty slice returns 0.
 func LatencyPercentile(sorted []time.Duration, p float64) time.Duration {
 	return serve.LatencyPercentile(sorted, p)
+}
+
+// Cluster is the scatter-gather sharding layer: a corpus partitioned across
+// S independent engines behind one batch front. See the "Sharded serving"
+// section of the package documentation.
+type Cluster = cluster.Cluster
+
+// ClusterOptions configures sharding (shard count, assignment policy,
+// per-shard engine options).
+type ClusterOptions = cluster.Options
+
+// ClusterShard is one partition of a sharded deployment: its engine plus
+// the monotone local→global ID table.
+type ClusterShard = cluster.Shard
+
+// ShardAssignment selects the partitioning policy.
+type ShardAssignment = cluster.Assignment
+
+// Shard-assignment policies: AssignHash spreads points across shards by a
+// deterministic ID hash; AssignKMeans packs whole coarse clusters onto
+// shards balanced by size.
+const (
+	AssignHash   = cluster.AssignHash
+	AssignKMeans = cluster.AssignKMeans
+)
+
+// NewCluster partitions a pre-built index across opt.Shards engines. The
+// profile workload (may be empty) drives each shard's layout heat
+// profiling, as in NewEngine.
+func NewCluster(ix *Index, profile Vectors, opt ClusterOptions) (*Cluster, error) {
+	return cluster.New(ix, profile, opt)
+}
+
+// BuildSharded trains an IVF-PQ index over the corpus and deploys it as a
+// sharded scatter-gather fleet: Build followed by NewCluster. Merged
+// Cluster.SearchBatch results are bit-identical to a single-engine
+// SearchBatch over the same index.
+func BuildSharded(base Vectors, profile Vectors, iopt IndexOptions, copt ClusterOptions) (*Cluster, error) {
+	ix, err := Build(base, iopt)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(ix, profile, copt)
+}
+
+// ClusterServer is the sharded online serving layer: one micro-batching
+// Server per shard behind a single scatter-gather Search front door.
+type ClusterServer = cluster.Server
+
+// ClusterServerStats snapshots a ClusterServer's front-door ledger plus the
+// per-shard serving stats and their aggregate.
+type ClusterServerStats = cluster.ServerStats
+
+// ClusterResponse is one query's merged answer from a ClusterServer.
+type ClusterResponse = cluster.Response
+
+// NewClusterServer starts one serving layer per shard (all with the same
+// options) behind a scatter-gather front door. The fleet becomes the
+// engines' only driver.
+func NewClusterServer(cl *Cluster, opt ServerOptions) (*ClusterServer, error) {
+	return cluster.NewServer(cl, opt)
 }
 
 // GroundTruth computes exact top-k neighbors by parallel brute force.

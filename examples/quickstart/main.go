@@ -1,12 +1,14 @@
 // Quickstart: build a DRIM-ANN index over a synthetic SIFT-shaped corpus,
-// deploy it on the simulated UPMEM DRAM-PIM system, run a query batch, and
-// serve single queries online through the micro-batching server.
+// deploy it on the simulated UPMEM DRAM-PIM system, run a query batch,
+// serve single queries online through the micro-batching server, and scale
+// out across a sharded scatter-gather fleet.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"slices"
 	"sync"
 	"time"
 
@@ -94,4 +96,29 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
+
+	// 7. Scale out: partition the same index across 4 shard engines (the
+	//    rack-scale deployment — each shard simulates its own PIM system)
+	//    and search through the scatter-gather front. The merged top-k is
+	//    bit-identical to the single-engine batch in step 4; the metrics
+	//    are the cross-shard parallel view (the fleet is as slow as its
+	//    slowest shard, counters sum).
+	cl, err := drimann.NewCluster(ix, corpus.Queries, drimann.ClusterOptions{
+		Shards: 4, Assignment: drimann.AssignKMeans, Engine: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cres, err := cl.SearchBatch(corpus.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for qi := range res.IDs {
+		if !slices.Equal(cres.IDs[qi], res.IDs[qi]) {
+			identical = false
+		}
+	}
+	fmt.Printf("sharded fleet (4 shards): %.0f QPS (simulated), results identical to single engine: %v\n",
+		cres.Metrics.QPS, identical)
 }

@@ -1,0 +1,293 @@
+// Package cluster is DRIM-ANN's scatter-gather sharding layer: it
+// partitions one IVF-PQ corpus across S independent core.Engines (one
+// simulated PIM system each — the rack-scale deployment the paper targets,
+// where a billion-point corpus spans many UPMEM ranks), fans each query
+// batch out to every shard in parallel, and merges the per-shard partial
+// top-k lists into a global result.
+//
+// # Partitioning
+//
+// All shards share the index's quantizers — the coarse centroid directory
+// and the PQ codebooks are small and replicated, exactly as every rank of a
+// real deployment holds the full (tiny) directory — while the inverted
+// lists are partitioned:
+//
+//   - AssignHash spreads each cluster's points across shards by a
+//     deterministic point-ID hash, so every shard holds a statistical 1/S
+//     of every inverted list. Per-query work is near-perfectly balanced
+//     across shards, at the cost of every shard touching every probed
+//     cluster.
+//   - AssignKMeans assigns whole coarse (k-means) clusters to shards with
+//     a greedy balanced bin-packing over cluster sizes, so each inverted
+//     list lives wholly on one shard. Shards skip probed clusters they do
+//     not own (their lists are empty locally), which is the cross-rank
+//     partition UpANNS-style systems use to cut fan-out traffic.
+//
+// Each shard's engine runs in a compact local ID space (0..n_s-1): its
+// sub-index lists the shard's points under local IDs, and the layer keeps a
+// strictly increasing local→global table per shard (plus the per-shard
+// global-ID offset of its first point, for the common contiguous prefix).
+// Because the table is monotone, the deterministic (dist, id) order of a
+// shard's results is preserved by the remap, and because the shards
+// partition the corpus and share every quantizer table, the merged global
+// top-k is bit-identical to a single unsharded engine's SearchBatch — the
+// equivalence suite pins this for S ∈ {1, 2, 7}.
+//
+// # Metrics
+//
+// Shards execute concurrently, so the merged core.Metrics is the
+// cross-shard parallel view (core.Metrics.MergeParallel): counters sum,
+// wall-like durations and per-phase critical paths take the max over
+// shards (the fleet is as slow as its slowest rank), and QPS is recomputed
+// from the merged totals.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/topk"
+)
+
+// Assignment selects the shard-partitioning policy.
+type Assignment string
+
+const (
+	// AssignHash spreads points across shards by a deterministic ID hash.
+	AssignHash Assignment = "hash"
+	// AssignKMeans assigns whole coarse clusters to shards, balanced by
+	// cluster size (greedy largest-first bin packing).
+	AssignKMeans Assignment = "kmeans"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of independent engines; default 2.
+	Shards int
+	// Assignment picks the partitioning policy; default AssignHash.
+	Assignment Assignment
+	// Engine configures every per-shard engine (NumDPUs is per shard, so a
+	// fleet of S shards simulates S x NumDPUs devices).
+	Engine core.Options
+}
+
+func (o *Options) defaults() error {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	switch o.Assignment {
+	case "":
+		o.Assignment = AssignHash
+	case AssignHash, AssignKMeans:
+	default:
+		return fmt.Errorf("cluster: unknown assignment %q", o.Assignment)
+	}
+	return nil
+}
+
+// Shard is one partition: an engine over the shard's sub-index plus the
+// monotone local→global ID table.
+type Shard struct {
+	Engine *core.Engine
+	// GlobalID maps shard-local point IDs to corpus-global IDs; strictly
+	// increasing, so the deterministic (dist, id) order survives the remap.
+	GlobalID []int32
+	// Points is the number of corpus points this shard owns.
+	Points int
+}
+
+// Offset returns the shard's global-ID offset — the corpus ID of its first
+// owned point (0 for an empty shard). The full GlobalID table handles
+// non-contiguous ownership; the offset is the derived summary callers use
+// to identify where a shard's range begins.
+func (sh *Shard) Offset() int32 {
+	if len(sh.GlobalID) == 0 {
+		return 0
+	}
+	return sh.GlobalID[0]
+}
+
+// Cluster is a fleet of shard engines behind one scatter-gather front.
+type Cluster struct {
+	shards []*Shard
+	opt    Options
+	ix     *ivf.Index // the shared (unsharded) index; quantizer source
+}
+
+// splitmix64 is the deterministic point-ID hash of AssignHash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shardOfPoints computes each corpus point's shard under the configured
+// assignment. nPoints is the corpus size (max list ID + 1).
+func shardOfPoints(ix *ivf.Index, nPoints int, opt Options) []int32 {
+	owner := make([]int32, nPoints)
+	if opt.Assignment == AssignHash {
+		for i := range owner {
+			owner[i] = int32(splitmix64(uint64(i)) % uint64(opt.Shards))
+		}
+		return owner
+	}
+	// Balanced k-means assignment: whole coarse clusters to shards, largest
+	// cluster first onto the currently lightest shard (LPT bin packing).
+	type cl struct{ id, size int }
+	clusters := make([]cl, ix.NList)
+	for c := range clusters {
+		clusters[c] = cl{id: c, size: ix.ListLen(c)}
+	}
+	// Deterministic largest-first order (ties by cluster id).
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].size != clusters[j].size {
+			return clusters[i].size > clusters[j].size
+		}
+		return clusters[i].id < clusters[j].id
+	})
+	load := make([]int, opt.Shards)
+	shardOfCluster := make([]int32, ix.NList)
+	for _, c := range clusters {
+		best := 0
+		for s := 1; s < opt.Shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		shardOfCluster[c.id] = int32(best)
+		load[best] += c.size
+	}
+	for c, list := range ix.Lists {
+		for _, id := range list {
+			owner[id] = shardOfCluster[c]
+		}
+	}
+	return owner
+}
+
+// New partitions ix across opt.Shards engines. The profile workload (may be
+// empty) drives each shard's layout heat profiling, exactly as in core.New.
+// The shared quantizer state (centroids, codebooks, SQT) is referenced, not
+// copied; only the inverted lists and codes are split.
+func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
+	if err := opt.defaults(); err != nil {
+		return nil, err
+	}
+	nPoints := 0
+	for _, list := range ix.Lists {
+		for _, id := range list {
+			if int(id) >= nPoints {
+				nPoints = int(id) + 1
+			}
+		}
+	}
+	owner := shardOfPoints(ix, nPoints, opt)
+
+	// Local ID spaces: enumerate each shard's points in ascending global ID
+	// order, so the local→global table is strictly increasing and the remap
+	// preserves the deterministic (dist, id) order.
+	localOf := make([]int32, nPoints)
+	tables := make([][]int32, opt.Shards)
+	for id := 0; id < nPoints; id++ {
+		s := owner[id]
+		localOf[id] = int32(len(tables[s]))
+		tables[s] = append(tables[s], int32(id))
+	}
+
+	cl := &Cluster{opt: opt, ix: ix, shards: make([]*Shard, opt.Shards)}
+	for s := 0; s < opt.Shards; s++ {
+		sub := &ivf.Index{
+			Dim: ix.Dim, NList: ix.NList, M: ix.M, CB: ix.CB,
+			Centroids:   ix.Centroids,
+			CentroidsU8: ix.CentroidsU8,
+			PQ:          ix.PQ,
+			IntCB:       ix.IntCB,
+			OPQ:         ix.OPQ,
+			SQT:         ix.SQT,
+			Lists:       make([][]int32, ix.NList),
+			Codes:       make([][]uint16, ix.NList),
+		}
+		for c, list := range ix.Lists {
+			codes := ix.Codes[c]
+			for pos, id := range list {
+				if owner[id] != int32(s) {
+					continue
+				}
+				sub.Lists[c] = append(sub.Lists[c], localOf[id])
+				sub.Codes[c] = append(sub.Codes[c], codes[pos*ix.M:(pos+1)*ix.M]...)
+			}
+		}
+		if err := core.ValidateRemapTable(tables[s]); err != nil {
+			return nil, err
+		}
+		eng, err := core.New(sub, profile, opt.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d engine: %w", s, err)
+		}
+		cl.shards[s] = &Shard{Engine: eng, GlobalID: tables[s], Points: len(tables[s])}
+	}
+	return cl, nil
+}
+
+// Shards exposes the fleet (for inspection, serving and tests).
+func (cl *Cluster) Shards() []*Shard { return cl.shards }
+
+// Index returns the shared unsharded index the fleet was partitioned from.
+func (cl *Cluster) Index() *ivf.Index { return cl.ix }
+
+// K reports the per-shard engines' configured neighbors-per-query.
+func (cl *Cluster) K() int { return cl.shards[0].Engine.K() }
+
+// Dim reports the vector dimensionality queries must match.
+func (cl *Cluster) Dim() int { return cl.ix.Dim }
+
+// SearchBatch scatters the query batch to every shard in parallel, gathers
+// the per-shard partial top-k lists, remaps local IDs to global IDs, and
+// merges into the global top-k. Results (IDs and Items) are bit-identical
+// to a single-engine SearchBatch over the unsharded corpus; Metrics is the
+// cross-shard parallel view (core.Metrics.MergeParallel).
+func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
+	if queries.D != cl.ix.Dim {
+		return nil, fmt.Errorf("cluster: query dim %d != index dim %d", queries.D, cl.ix.Dim)
+	}
+	results := make([]*core.Result, len(cl.shards))
+	errs := make([]error, len(cl.shards))
+	var wg sync.WaitGroup
+	for s, sh := range cl.shards {
+		wg.Add(1)
+		go func(s int, sh *Shard) {
+			defer wg.Done()
+			results[s], errs[s] = sh.Engine.SearchBatch(queries)
+		}(s, sh)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+	}
+
+	out := &core.Result{
+		IDs:   make([][]int32, queries.N),
+		Items: make([][]topk.Item[uint32], queries.N),
+	}
+	k := cl.K()
+	parts := make([][]topk.Item[uint32], len(cl.shards))
+	for qi := 0; qi < queries.N; qi++ {
+		for s, r := range results {
+			items := r.Items[qi]
+			core.RemapItems(items, cl.shards[s].GlobalID)
+			parts[s] = items
+		}
+		out.IDs[qi], out.Items[qi] = core.MergeShardTopK(k, parts)
+	}
+	for _, r := range results {
+		out.Metrics.MergeParallel(&r.Metrics)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package cluster_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drimann/internal/cluster"
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/topk"
+)
+
+// testFixture builds the shared corpus + index every cluster test
+// partitions: clustered synthetic data with skewed queries, so both
+// assignment policies see uneven inverted lists.
+func testFixture(t testing.TB, n, queries int) (*ivf.Index, *dataset.Synth) {
+	t.Helper()
+	s := dataset.Generate(dataset.SynthConfig{
+		Name: "cluster", N: n, D: 64, NumQueries: queries,
+		NumClusters: 40, Seed: 7, Noise: 9,
+	})
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       64,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 6,
+		TrainSample: 3000,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, s
+}
+
+func engineOpts() core.Options {
+	o := core.DefaultOptions()
+	o.NumDPUs = 16
+	o.NProbe = 8
+	o.K = 10
+	return o
+}
+
+// TestClusterEquivalence is the acceptance property of the sharding layer:
+// for S ∈ {1, 2, 7} shards under both assignment policies, the merged
+// scatter-gather top-k (IDs and Items) is bit-identical to a single-engine
+// SearchBatch over the unsharded corpus. This holds because every shard
+// shares the full quantizer state (so it locates the same probe set and
+// computes the same integer distances), the shards partition the scanned
+// points, the local→global ID tables are monotone (order-preserving), and
+// the global top-k of a partitioned multiset is the merge of the per-part
+// top-k lists.
+func TestClusterEquivalence(t *testing.T) {
+	ix, s := testFixture(t, 6000, 64)
+	single, err := core.New(ix, s.Queries, engineOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := single.SearchBatch(s.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 7} {
+		for _, assign := range []cluster.Assignment{cluster.AssignHash, cluster.AssignKMeans} {
+			t.Run(fmt.Sprintf("S=%d/%s", shards, assign), func(t *testing.T) {
+				cl, err := cluster.New(ix, s.Queries, cluster.Options{
+					Shards: shards, Assignment: assign, Engine: engineOpts(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cl.SearchBatch(s.Queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi := 0; qi < s.Queries.N; qi++ {
+					if !reflect.DeepEqual(got.IDs[qi], ref.IDs[qi]) {
+						t.Fatalf("query %d IDs diverge:\n  cluster %v\n  single  %v",
+							qi, got.IDs[qi], ref.IDs[qi])
+					}
+					if !reflect.DeepEqual(got.Items[qi], ref.Items[qi]) {
+						t.Fatalf("query %d Items diverge:\n  cluster %v\n  single  %v",
+							qi, got.Items[qi], ref.Items[qi])
+					}
+				}
+				// Cross-shard metrics view: the fleet scanned exactly the
+				// single engine's points (the shards partition the corpus),
+				// and the merged wall-clock is the slowest shard, never the
+				// sum.
+				if got.Metrics.PointsScanned != ref.Metrics.PointsScanned {
+					t.Fatalf("points scanned %d != single %d",
+						got.Metrics.PointsScanned, ref.Metrics.PointsScanned)
+				}
+				if got.Metrics.Queries != s.Queries.N {
+					t.Fatalf("merged Queries = %d, want %d", got.Metrics.Queries, s.Queries.N)
+				}
+				if got.Metrics.SimSeconds <= 0 {
+					t.Fatal("merged SimSeconds not positive")
+				}
+			})
+		}
+	}
+}
+
+// TestClusterPartition pins the partition invariants: every corpus point is
+// owned by exactly one shard, local→global tables are strictly increasing,
+// and kmeans assignment keeps whole coarse clusters on one shard.
+func TestClusterPartition(t *testing.T) {
+	ix, s := testFixture(t, 4000, 16)
+	for _, assign := range []cluster.Assignment{cluster.AssignHash, cluster.AssignKMeans} {
+		t.Run(string(assign), func(t *testing.T) {
+			cl, err := cluster.New(ix, s.Queries, cluster.Options{
+				Shards: 3, Assignment: assign, Engine: engineOpts(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int32]int)
+			total := 0
+			for si, sh := range cl.Shards() {
+				if err := core.ValidateRemapTable(sh.GlobalID); err != nil {
+					t.Fatalf("shard %d: %v", si, err)
+				}
+				if sh.Points != len(sh.GlobalID) {
+					t.Fatalf("shard %d Points %d != table %d", si, sh.Points, len(sh.GlobalID))
+				}
+				if sh.Points > 0 && sh.Offset() != sh.GlobalID[0] {
+					t.Fatalf("shard %d Offset %d != first global %d", si, sh.Offset(), sh.GlobalID[0])
+				}
+				for _, g := range sh.GlobalID {
+					if prev, dup := seen[g]; dup {
+						t.Fatalf("point %d owned by shards %d and %d", g, prev, si)
+					}
+					seen[g] = si
+				}
+				total += sh.Points
+			}
+			if total != s.Base.N {
+				t.Fatalf("shards own %d points, corpus has %d", total, s.Base.N)
+			}
+			if assign == cluster.AssignKMeans {
+				for c, list := range ix.Lists {
+					if len(list) == 0 {
+						continue
+					}
+					owner := seen[list[0]]
+					for _, id := range list[1:] {
+						if seen[id] != owner {
+							t.Fatalf("kmeans: cluster %d split across shards %d and %d",
+								c, owner, seen[id])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeShardTopK exercises the merge helper directly: interleaved
+// sorted partials, truncation, empty parts, and fewer-than-k totals.
+func TestMergeShardTopK(t *testing.T) {
+	it := func(id int32, d uint32) topk.Item[uint32] { return topk.Item[uint32]{ID: id, Dist: d} }
+	parts := [][]topk.Item[uint32]{
+		{it(4, 1), it(0, 5), it(8, 9)},
+		{},
+		{it(2, 2), it(6, 5), it(10, 7)},
+	}
+	ids, items := core.MergeShardTopK(4, parts)
+	wantIDs := []int32{4, 2, 0, 6}
+	if !reflect.DeepEqual(ids, wantIDs) {
+		t.Fatalf("merged ids %v, want %v", ids, wantIDs)
+	}
+	for i, id := range ids {
+		if items[i].ID != id {
+			t.Fatalf("items[%d].ID %d != ids[%d] %d", i, items[i].ID, i, id)
+		}
+	}
+	// Tie on distance across parts: smaller ID wins (0 before 6 at dist 5).
+	if items[2].Dist != 5 || items[2].ID != 0 {
+		t.Fatalf("tie-break wrong: %+v", items[2])
+	}
+	ids, _ = core.MergeShardTopK(10, parts)
+	if len(ids) != 6 {
+		t.Fatalf("undersized merge returned %d ids, want all 6", len(ids))
+	}
+}
+
+// TestMetricsMergeParallel pins the cross-shard metrics semantics: sums for
+// counters, max for wall-like durations, recomputed QPS.
+func TestMetricsMergeParallel(t *testing.T) {
+	a := core.Metrics{Queries: 100, SimSeconds: 2, HostSeconds: 1, PIMSeconds: 2,
+		Launches: 3, PointsScanned: 500, ImbalanceSum: 3.3}
+	b := core.Metrics{Queries: 100, SimSeconds: 5, HostSeconds: 4, PIMSeconds: 1,
+		Launches: 2, PointsScanned: 700, ImbalanceSum: 2.2}
+	var m core.Metrics
+	m.MergeParallel(&a)
+	m.MergeParallel(&b)
+	if m.Queries != 100 {
+		t.Fatalf("Queries %d, want max 100", m.Queries)
+	}
+	if m.SimSeconds != 5 || m.HostSeconds != 4 || m.PIMSeconds != 2 {
+		t.Fatalf("wall-like fields not max-merged: %+v", m)
+	}
+	if m.Launches != 5 || m.PointsScanned != 1200 {
+		t.Fatalf("counters not summed: %+v", m)
+	}
+	if want := 100.0 / 5.0; m.QPS != want {
+		t.Fatalf("QPS %v, want %v", m.QPS, want)
+	}
+	if got := m.AvgImbalance(); got != (3.3+2.2)/5 {
+		t.Fatalf("AvgImbalance %v", got)
+	}
+}
+
+// TestClusterDimMismatch checks front-door argument validation.
+func TestClusterDimMismatch(t *testing.T) {
+	ix, s := testFixture(t, 2000, 4)
+	cl, err := cluster.New(ix, s.Queries, cluster.Options{Shards: 2, Engine: engineOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := dataset.U8Set{N: 1, D: 8, Data: make([]uint8, 8)}
+	if _, err := cl.SearchBatch(bad); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+}

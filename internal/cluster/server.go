@@ -1,0 +1,235 @@
+// ClusterServer: one online front door over a sharded fleet. Each shard
+// gets its own internal/serve micro-batching server (the per-shard batching
+// policy is exactly the single-engine one — deadline EWMA, bounded
+// admission queue, draining Close); the front door validates once, copies
+// the query once, scatters it to every shard server concurrently via the
+// no-copy SearchOwned hook, and gathers/merges the partial top-k.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/serve"
+	"drimann/internal/topk"
+)
+
+// ServerStats is a point-in-time snapshot of a ClusterServer's serving
+// metrics: the front door's scatter-gather ledger plus the per-shard
+// serve.Stats and their aggregated view.
+type ServerStats struct {
+	// Completed counts scatter-gather queries answered with results;
+	// Canceled counts queries lost to the caller's context (canceled or
+	// deadline-exceeded); Rejected counts refusals — bad argument at the
+	// front door, or the fleet already closed (serve.ErrClosed); Failed
+	// counts queries where a shard returned a genuine engine/launch error.
+	Completed uint64
+	Canceled  uint64
+	Rejected  uint64
+	Failed    uint64
+	// AvgLatency is the mean front-door latency of completed queries
+	// (slowest-shard wall time: a query is done when its last shard is).
+	AvgLatency time.Duration
+
+	// Shards holds each shard server's own ledger. Every front-door query
+	// appears once in every shard's ledger (the scatter fans it out S ways).
+	Shards []serve.Stats
+	// Agg sums the per-shard ledgers (so Agg.Enqueued ≈ S x Completed under
+	// error-free traffic) — except Agg.Sim, which is the cross-shard
+	// parallel metrics view (core.Metrics.MergeParallel): counters sum,
+	// wall-like durations are max-over-shards.
+	Agg serve.Stats
+}
+
+// Response is one query's merged answer from the fleet.
+type Response struct {
+	// IDs are the global neighbor ids in the deterministic (distance, id)
+	// order, truncated to the requested k; Items the scored candidates
+	// behind them.
+	IDs   []int32
+	Items []topk.Item[uint32]
+	// Latency is the front-door wall time: the slowest shard's
+	// queueing + batching + launch, plus the merge.
+	Latency time.Duration
+	// MaxShardBatch is the largest micro-batch any shard served this query
+	// in (the per-shard BatchSize, maxed over shards).
+	MaxShardBatch int
+}
+
+// Server is the sharded online serving layer. Construct with NewServer;
+// all methods are safe for concurrent use.
+type Server struct {
+	cl   *Cluster
+	srvs []*serve.Server
+
+	completed atomic.Uint64
+	canceled  atomic.Uint64
+	rejected  atomic.Uint64
+	failed    atomic.Uint64
+	latencyNS atomic.Int64
+}
+
+// NewServer starts one serve.Server per shard (all with the same options)
+// behind a scatter-gather front door. The fleet becomes the engines' only
+// driver: do not call the shard engines or Cluster.SearchBatch concurrently
+// with a live server.
+func NewServer(cl *Cluster, opt serve.Options) (*Server, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("cluster: nil cluster")
+	}
+	s := &Server{cl: cl, srvs: make([]*serve.Server, len(cl.shards))}
+	for i, sh := range cl.shards {
+		srv, err := serve.New(sh.Engine, opt)
+		if err != nil {
+			for _, started := range s.srvs[:i] {
+				started.Close()
+			}
+			return nil, fmt.Errorf("cluster: shard %d server: %w", i, err)
+		}
+		s.srvs[i] = srv
+	}
+	return s, nil
+}
+
+// Search submits one query to every shard concurrently and blocks until
+// the merged answer is ready, ctx is done, or the fleet closes. The
+// argument contract matches serve.Server.Search: q must have the index
+// dimensionality (copied once at the front door), k <= 0 selects the
+// engines' configured K, larger k is an error. If any shard fails the
+// whole query fails (serve.ErrClosed is surfaced as such via errors.Is).
+func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(q) != s.cl.Dim() {
+		s.rejected.Add(1)
+		return Response{}, fmt.Errorf("cluster: query dim %d != index dim %d", len(q), s.cl.Dim())
+	}
+	if k <= 0 {
+		k = s.cl.K()
+	} else if k > s.cl.K() {
+		s.rejected.Add(1)
+		return Response{}, fmt.Errorf("cluster: k %d exceeds engine K %d", k, s.cl.K())
+	}
+	// One copy at the front door; the per-shard servers use the no-copy
+	// SearchOwned hook against it (immutable until every shard replied).
+	owned := append([]uint8(nil), q...)
+
+	t0 := time.Now()
+	resps := make([]serve.Response, len(s.srvs))
+	errs := make([]error, len(s.srvs))
+	var wg sync.WaitGroup
+	for i, srv := range s.srvs {
+		wg.Add(1)
+		go func(i int, srv *serve.Server) {
+			defer wg.Done()
+			resps[i], errs[i] = srv.SearchOwned(ctx, owned, k)
+		}(i, srv)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Contract errors pass through unwrapped so callers can
+			// errors.Is them exactly as with a single serve.Server, and the
+			// ledger classifies them the way the single-server one does:
+			// closed fleets are refusals, lost contexts are cancellations,
+			// only genuine shard errors count as failures.
+			switch {
+			case errors.Is(err, serve.ErrClosed):
+				s.rejected.Add(1)
+				return Response{}, err
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				s.canceled.Add(1)
+				return Response{}, err
+			default:
+				s.failed.Add(1)
+				return Response{}, fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+		}
+	}
+
+	parts := make([][]topk.Item[uint32], len(resps))
+	maxBatch := 0
+	for i := range resps {
+		core.RemapItems(resps[i].Items, s.cl.shards[i].GlobalID)
+		parts[i] = resps[i].Items
+		if resps[i].BatchSize > maxBatch {
+			maxBatch = resps[i].BatchSize
+		}
+	}
+	ids, items := core.MergeShardTopK(k, parts)
+	lat := time.Since(t0)
+	s.completed.Add(1)
+	s.latencyNS.Add(int64(lat))
+	return Response{IDs: ids, Items: items, Latency: lat, MaxShardBatch: maxBatch}, nil
+}
+
+// Close seals every shard server (concurrently) and waits for each to
+// drain. Safe to call multiple times and concurrently.
+func (s *Server) Close() error {
+	errs := make([]error, len(s.srvs))
+	var wg sync.WaitGroup
+	for i, srv := range s.srvs {
+		wg.Add(1)
+		go func(i int, srv *serve.Server) {
+			defer wg.Done()
+			errs[i] = srv.Close()
+		}(i, srv)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Stats snapshots the fleet's serving metrics.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Completed: s.completed.Load(),
+		Canceled:  s.canceled.Load(),
+		Rejected:  s.rejected.Load(),
+		Failed:    s.failed.Load(),
+		Shards:    make([]serve.Stats, len(s.srvs)),
+	}
+	if st.Completed > 0 {
+		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(st.Completed))
+	}
+	var completedSum uint64
+	var latSum float64
+	var batchSum float64
+	for i, srv := range s.srvs {
+		ss := srv.Stats()
+		st.Shards[i] = ss
+		st.Agg.Enqueued += ss.Enqueued
+		st.Agg.Completed += ss.Completed
+		st.Agg.Canceled += ss.Canceled
+		st.Agg.Failed += ss.Failed
+		st.Agg.Rejected += ss.Rejected
+		st.Agg.Batches += ss.Batches
+		st.Agg.QueueDepth += ss.QueueDepth
+		completedSum += ss.Completed
+		latSum += float64(ss.AvgLatency) * float64(ss.Completed)
+		batchSum += ss.MeanBatch * float64(ss.Completed)
+		st.Agg.Sim.MergeParallel(&ss.Sim)
+	}
+	if completedSum > 0 {
+		st.Agg.AvgLatency = time.Duration(latSum / float64(completedSum))
+		st.Agg.MeanBatch = batchSum / float64(completedSum)
+	}
+	return st
+}
+
+// Metrics returns the cross-shard parallel view of the fleet's aggregated
+// simulated engine metrics.
+func (s *Server) Metrics() core.Metrics {
+	var m core.Metrics
+	for _, srv := range s.srvs {
+		sm := srv.Metrics()
+		m.MergeParallel(&sm)
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drimann/internal/cluster"
+	"drimann/internal/serve"
+)
+
+// TestClusterStress hammers the scatter-gather front door under -race:
+// many goroutines issuing queries with mixed k, random pre-flight
+// cancellations, and a mid-flight Close. Every call must resolve exactly
+// once — with results, a context error, or serve.ErrClosed — and after the
+// drain every shard's serve ledger must balance.
+func TestClusterStress(t *testing.T) {
+	ix, s := testFixture(t, 4000, 32)
+	cl, err := cluster.New(ix, s.Queries, cluster.Options{
+		Shards: 3, Assignment: cluster.AssignKMeans, Engine: engineOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cluster.NewServer(cl, serve.Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 25
+	var completed, failed atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			for i := 0; i < perG; i++ {
+				qi := rng.Intn(s.Queries.N)
+				k := 1 + rng.Intn(cl.K())
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(4) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				}
+				resp, err := srv.Search(ctx, s.Queries.Vec(qi), k)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					if len(resp.IDs) > k || len(resp.IDs) != len(resp.Items) {
+						t.Errorf("inconsistent response: %d ids, %d items, k=%d",
+							len(resp.IDs), len(resp.Items), k)
+					}
+					for j, id := range resp.IDs {
+						if resp.Items[j].ID != id {
+							t.Errorf("ids/items cross-wired at %d", j)
+						}
+					}
+					completed.Add(1)
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+					errors.Is(err, serve.ErrClosed):
+					failed.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(g)
+	}
+	// Close mid-flight: racing Searches must either be served or fail with
+	// the typed error, never hang or panic.
+	time.Sleep(2 * time.Millisecond)
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- srv.Close() }()
+	wg.Wait()
+	if err := <-closeErr; err != nil {
+		t.Fatal(err)
+	}
+
+	if completed.Load()+failed.Load() != goroutines*perG {
+		t.Fatalf("outcomes %d+%d != %d requests",
+			completed.Load(), failed.Load(), goroutines*perG)
+	}
+	st := srv.Stats()
+	// Front-door ledger: every call lands in exactly one class, and no
+	// engine-level failure is expected — closed fleets are Rejected, lost
+	// contexts Canceled.
+	if st.Failed != 0 {
+		t.Fatalf("front door recorded %d engine failures", st.Failed)
+	}
+	if st.Completed+st.Canceled+st.Rejected != goroutines*perG {
+		t.Fatalf("front-door ledger %d+%d+%d != %d calls",
+			st.Completed, st.Canceled, st.Rejected, goroutines*perG)
+	}
+	for si, ss := range st.Shards {
+		if ss.Enqueued != ss.Completed+ss.Canceled+ss.Failed {
+			t.Fatalf("shard %d ledger unbalanced after drain: %+v", si, ss)
+		}
+		if ss.QueueDepth != 0 {
+			t.Fatalf("shard %d queue depth %d after drain", si, ss.QueueDepth)
+		}
+	}
+}

@@ -82,7 +82,11 @@ type Options struct {
 }
 
 func (o *Options) defaults(eng *core.Engine) {
-	if o.MaxBatch <= 0 {
+	// Clamp to the engine's scheduling batch size: a larger MaxBatch would
+	// silently split each launch into several scheduling batches inside the
+	// engine, so the "launch" the deadline EWMA and the BatchSize stats
+	// describe would no longer be the unit the batcher thinks it is timing.
+	if o.MaxBatch <= 0 || o.MaxBatch > eng.MaxBatch() {
 		o.MaxBatch = eng.MaxBatch()
 	}
 	if o.MaxWait < 0 {
@@ -213,6 +217,26 @@ func (s *Server) Options() Options { return s.opt }
 // copied at admission). k <= 0 selects the engine's configured K; k larger
 // than that is an error (the engine computes exactly K candidates).
 func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error) {
+	return s.search(ctx, q, k, true)
+}
+
+// SearchOwned is Search without the admission copy of q: the caller
+// promises q stays valid and unmutated until the request's reply has been
+// delivered. Note that this is a stronger promise than "until the call
+// returns": a call abandoned on context cancellation can return while the
+// request is still queued, and the batcher may read q when it launches the
+// batch later. Callers must therefore never mutate or recycle q after an
+// error return either — treat the buffer as frozen for as long as the
+// server lives, or use Search, which copies. The hook exists for fan-out
+// layers that already copied the query once at their own front door and
+// keep that copy alive (the sharded cluster server submits one immutable
+// copy to S per-shard servers); everything else about the serving contract
+// is identical.
+func (s *Server) SearchOwned(ctx context.Context, q []uint8, k int) (Response, error) {
+	return s.search(ctx, q, k, false)
+}
+
+func (s *Server) search(ctx context.Context, q []uint8, k int, copyQ bool) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -226,9 +250,12 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		s.rejected.Add(1)
 		return Response{}, fmt.Errorf("serve: k %d exceeds engine K %d", k, s.eng.K())
 	}
+	if copyQ {
+		q = append([]uint8(nil), q...)
+	}
 	r := &request{
 		ctx:   ctx,
-		q:     append([]uint8(nil), q...),
+		q:     q,
 		k:     k,
 		enq:   time.Now(),
 		reply: make(chan reply, 1),
@@ -493,6 +520,15 @@ func (s *Server) launch(batch []*request) {
 		ids, items := qr.IDs, qr.Items
 		if len(ids) > r.k {
 			ids, items = ids[:r.k], items[:r.k]
+		}
+		// Copy at the demux boundary: the engine owns the Result storage,
+		// and nothing in the serving contract stops a future engine from
+		// pooling those buffers across launches. A Response must stay valid
+		// for as long as the caller holds it, so it never aliases engine
+		// memory (TestServeResponseDoesNotAliasEngine pins this).
+		if len(ids) > 0 {
+			ids = append([]int32(nil), ids...)
+			items = append([]topk.Item[uint32](nil), items...)
 		}
 		lat := time.Since(r.enq)
 		s.completed.Add(1)
