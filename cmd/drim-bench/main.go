@@ -51,6 +51,20 @@
 //
 //	drim-bench -shards 4                             # hash partitioning
 //	drim-bench -shards 8 -assign kmeans -dpus 64
+//
+// Replica mode (-replicas R) measures the tail-masking machinery of the
+// replicated serving layer: each shard (default 2, -shards overrides) is
+// served by R engine clones behind load-aware routing with hedged requests,
+// and -straggler wraps the last replica of every shard in a fault-injected
+// periodic straggler (every -stragglerevery-th call stalls by
+// -stragglerdelay). The same closed-loop load (-clients, -servedur) runs
+// twice — hedging off, then on — every response is verified bit-identical
+// to the unsharded single engine, and both latency distributions
+// (p50/p99/p999) land in one mode:"replica" trajectory entry, so the
+// hedged-vs-unhedged tail ratio is recorded alongside the fleet's history:
+//
+//	drim-bench -replicas 2 -straggler                # 2 shards x 2 replicas
+//	drim-bench -replicas 3 -shards 4 -straggler -stragglerdelay 50ms -stragglerevery 3
 package main
 
 import (
@@ -80,6 +94,10 @@ func main() {
 		serveBench = flag.Bool("serve", false, "closed-loop load-generator benchmark over the online serving layer")
 		shards     = flag.Int("shards", 0, "cluster mode: scatter-gather benchmark over this many shard engines (-dpus is per shard)")
 		assignFlag = flag.String("assign", "hash", "-shards: partitioning policy (hash or kmeans)")
+		replicas   = flag.Int("replicas", 0, "replica mode: hedged-vs-unhedged tail benchmark over this many replicas per shard (default 2 shards; -shards overrides)")
+		straggler  = flag.Bool("straggler", false, "-replicas: fault-inject a periodic straggler into the last replica of each shard")
+		stragDelay = flag.Duration("stragglerdelay", 100*time.Millisecond, "-replicas -straggler: injected stall per straggling call")
+		stragEvery = flag.Int("stragglerevery", 3, "-replicas -straggler: every Nth call to the straggler stalls")
 		clients    = flag.Int("clients", 8, "-serve: concurrent closed-loop clients")
 		qps        = flag.Float64("qps", 0, "-serve: aggregate pacing target in queries/s (0 = unthrottled)")
 		maxWait    = flag.Duration("maxwait", 200*time.Microsecond, "-serve: micro-batcher max wait")
@@ -87,6 +105,20 @@ func main() {
 		serveDur   = flag.Duration("servedur", 5*time.Second, "-serve: measurement window")
 	)
 	flag.Parse()
+
+	if *replicas > 0 {
+		if *selfBench || *serveBench || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -replicas excludes -bench/-serve/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runReplicaBench(*n, *queries, *dpus, *seed, *shards, *replicas,
+			*assignFlag, *clients, *straggler, *stragDelay, *stragEvery,
+			*maxWait, *maxBatch, *serveDur, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shards > 0 {
 		if *selfBench || *serveBench || *small || *expFlag != "" {

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"drimann/internal/cluster"
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/fault"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+	"drimann/internal/serve"
+)
+
+// runReplicaBench is the -replicas mode: the tail-masking benchmark over a
+// replicated fleet. It builds the SIFT-shaped fixture of -bench, deploys it
+// across `shards` shard groups of `replicas` engine clones each, and — when
+// -straggler is set — wraps the last replica of every shard in a
+// fault-injected straggler that stalls every stragglerEvery-th call by
+// stragglerDelay. A periodic straggler is the interesting adversary: a
+// replica that is always slow is simply routed around by the load-aware
+// pick, while one that is usually fast keeps earning traffic and only its
+// occasional stalls poison the tail — exactly the case hedging exists for.
+//
+// The same closed-loop load (clients callers, dur window) runs twice over
+// the degraded fleet — hedging disabled, then enabled — every response is
+// verified bit-identical to the unsharded single-engine reference, and one
+// mode:"replica" entry with both latency distributions is appended to the
+// trajectory file at outPath.
+func runReplicaBench(n, queries, dpus int, seed int64, shards, replicas int,
+	assignment string, clients int, straggler bool, stragglerDelay time.Duration,
+	stragglerEvery int, maxWait time.Duration, maxBatch int, dur time.Duration,
+	note, outPath string) error {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	if dpus <= 0 {
+		dpus = core.DefaultOptions().NumDPUs
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if shards <= 0 {
+		shards = 2
+	}
+	if replicas < 2 {
+		return fmt.Errorf("-replicas %d: tail masking needs at least 2 replicas", replicas)
+	}
+	if assignment == "" {
+		assignment = string(cluster.AssignHash)
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+	if stragglerDelay <= 0 {
+		stragglerDelay = 100 * time.Millisecond
+	}
+	if stragglerEvery <= 0 {
+		stragglerEvery = 3
+	}
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+
+	fmt.Printf("drim-bench replica benchmark: N=%d queries=%d shards=%d x %d replicas (x%d DPUs) assign=%s clients=%d dur=%s\n",
+		n, queries, shards, replicas, dpus, assignment, clients, dur)
+	if straggler {
+		fmt.Printf("  straggler: every %d-th call to the last replica of each shard stalls %s\n",
+			stragglerEvery, stragglerDelay)
+	}
+	s := dataset.SIFT(n, queries, seed)
+	t0 := time.Now()
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       1024,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 4,
+		TrainSample: 8000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
+
+	opts := core.DefaultOptions()
+	opts.NumDPUs = dpus
+	single, err := core.New(ix, dataset.U8Set{}, opts)
+	if err != nil {
+		return err
+	}
+	ref, err := single.SearchBatch(s.Queries)
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.New(ix, dataset.U8Set{}, cluster.Options{
+		Shards: shards, Replicas: replicas,
+		Assignment: cluster.Assignment(assignment), Engine: opts,
+	})
+	if err != nil {
+		return err
+	}
+
+	var plan *fault.Plan
+	if straggler {
+		plan = &fault.Plan{Delay: stragglerDelay, DelayEvery: stragglerEvery, Seed: seed}
+	}
+	measure := func(label string, disableHedge bool) ([]time.Duration, float64, cluster.ServerStats, error) {
+		route := cluster.RouteOptions{DisableHedge: disableHedge, Seed: uint64(seed)}
+		if plan != nil {
+			route.WrapReplica = func(shard, replica int, r cluster.Replica) cluster.Replica {
+				if replica == replicas-1 {
+					p := *plan
+					p.Seed = seed + int64(shard)
+					return fault.Wrap(r, p)
+				}
+				return r
+			}
+		}
+		srv, err := cluster.NewServerRouted(cl, serve.Options{MaxBatch: maxBatch, MaxWait: maxWait}, route)
+		if err != nil {
+			return nil, 0, cluster.ServerStats{}, err
+		}
+		var (
+			wg        sync.WaitGroup
+			latMu     sync.Mutex
+			latencies []time.Duration
+			clientErr error
+		)
+		start := time.Now()
+		deadline := start.Add(dur)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				local := make([]time.Duration, 0, 4096)
+				defer func() {
+					latMu.Lock()
+					latencies = append(latencies, local...)
+					latMu.Unlock()
+				}()
+				for i := 0; time.Now().Before(deadline); i++ {
+					qi := (i*clients + c) % queries
+					t := time.Now()
+					resp, err := srv.Search(context.Background(), s.Queries.Vec(qi), 0)
+					if err != nil {
+						latMu.Lock()
+						if clientErr == nil {
+							clientErr = fmt.Errorf("%s client %d: %w", label, c, err)
+						}
+						latMu.Unlock()
+						return
+					}
+					local = append(local, time.Since(t))
+					// The masking contract on the real fixture: a degraded
+					// fleet still answers bit-identically to the unsharded
+					// single engine.
+					diverged := len(resp.IDs) != len(ref.IDs[qi])
+					for j := 0; !diverged && j < len(resp.IDs); j++ {
+						diverged = resp.IDs[j] != ref.IDs[qi][j]
+					}
+					if diverged {
+						latMu.Lock()
+						if clientErr == nil {
+							clientErr = fmt.Errorf("%s: query %d diverges from single engine", label, qi)
+						}
+						latMu.Unlock()
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := srv.Close(); err != nil {
+			return nil, 0, cluster.ServerStats{}, err
+		}
+		if clientErr != nil {
+			return nil, 0, cluster.ServerStats{}, clientErr
+		}
+		if len(latencies) == 0 {
+			return nil, 0, cluster.ServerStats{}, fmt.Errorf("%s run completed no requests", label)
+		}
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		return latencies, float64(len(latencies)) / elapsed.Seconds(), srv.Stats(), nil
+	}
+
+	unhedged, unhedgedQPS, _, err := measure("unhedged", true)
+	if err != nil {
+		return err
+	}
+	hedged, hedgedQPS, hst, err := measure("hedged", false)
+	if err != nil {
+		return err
+	}
+
+	pct := func(l []time.Duration, p float64) float64 {
+		return serve.LatencyPercentile(l, p).Seconds() * 1e3
+	}
+	fmt.Printf("  unhedged: %d requests, %.0f QPS  p50 %.3fms  p99 %.3fms  p999 %.3fms\n",
+		len(unhedged), unhedgedQPS, pct(unhedged, 0.50), pct(unhedged, 0.99), pct(unhedged, 0.999))
+	fmt.Printf("  hedged:   %d requests, %.0f QPS  p50 %.3fms  p99 %.3fms  p999 %.3fms  (%d hedges, %d wins)\n",
+		len(hedged), hedgedQPS, pct(hedged, 0.50), pct(hedged, 0.99), pct(hedged, 0.999),
+		hst.Hedged, hst.HedgeWins)
+	if hp := pct(hedged, 0.99); hp > 0 {
+		fmt.Printf("  hedged p99 is %.1fx lower than unhedged  (results identical to single engine ✓)\n",
+			pct(unhedged, 0.99)/hp)
+	}
+
+	var trajectory []benchEntry
+	raw, err := os.ReadFile(outPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", outPath, err)
+		}
+	case !os.IsNotExist(err):
+		return fmt.Errorf("reading %s: %w", outPath, err)
+	}
+
+	entry := benchEntry{
+		Note:       note,
+		Mode:       "replica",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N:          n, D: s.Base.D, Queries: queries, Runs: 1,
+		DPUs:           dpus,
+		Shards:         shards,
+		Replicas:       replicas,
+		Assignment:     assignment,
+		Clients:        clients,
+		MaxWaitMS:      maxWait.Seconds() * 1e3,
+		MaxBatch:       maxBatch,
+		DurSec:         dur.Seconds(),
+		UnhedgedP50MS:  pct(unhedged, 0.50),
+		UnhedgedP99MS:  pct(unhedged, 0.99),
+		UnhedgedP999MS: pct(unhedged, 0.999),
+		HedgedP50MS:    pct(hedged, 0.50),
+		HedgedP99MS:    pct(hedged, 0.99),
+		HedgedP999MS:   pct(hedged, 0.999),
+		UnhedgedQPS:    unhedgedQPS,
+		HedgedQPS:      hedgedQPS,
+	}
+	if straggler {
+		entry.StragglerDelayMS = stragglerDelay.Seconds() * 1e3
+		entry.StragglerEvery = stragglerEvery
+	}
+	if prev := lastComparable(trajectory, entry); prev != nil && entry.HedgedP99MS > 0 {
+		entry.SpeedupVsPrev = prev.HedgedP99MS / entry.HedgedP99MS
+		fmt.Printf("  vs previous replica entry (%s): %.2fx on hedged p99\n", prev.Timestamp, entry.SpeedupVsPrev)
+	}
+	trajectory = append(trajectory, entry)
+
+	raw, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded replica entry in %s (total %d)\n", outPath, len(trajectory))
+	return nil
+}

@@ -105,6 +105,30 @@ type benchEntry struct {
 	// assignment.
 	Shards     int    `json:"shards,omitempty"`
 	Assignment string `json:"assignment,omitempty"`
+
+	// Replica-mode fields (mode == "replica"): the -replicas tail-masking
+	// benchmark. Replicas is the copies per shard; StragglerDelayMS /
+	// StragglerEvery describe the injected straggler (every
+	// straggler_every-th call to one replica of each shard stalls by
+	// straggler_delay_ms) — both zero when -straggler is off. The same
+	// closed-loop load (Clients above) runs twice over the same degraded
+	// fleet, hedging off then on; the Unhedged*/Hedged* percentiles are the
+	// client-observed Search latencies of the two runs, and the QPS pair
+	// their throughputs. For replica entries SpeedupVsPrev compares hedged
+	// p99 tails across PRs (previous hedged_p99_ms over this one, >1 =
+	// better tail); the headline hedged-vs-unhedged ratio within the run is
+	// unhedged_p99_ms / hedged_p99_ms.
+	Replicas         int     `json:"replicas,omitempty"`
+	StragglerDelayMS float64 `json:"straggler_delay_ms,omitempty"`
+	StragglerEvery   int     `json:"straggler_every,omitempty"`
+	UnhedgedP50MS    float64 `json:"unhedged_p50_ms,omitempty"`
+	UnhedgedP99MS    float64 `json:"unhedged_p99_ms,omitempty"`
+	UnhedgedP999MS   float64 `json:"unhedged_p999_ms,omitempty"`
+	HedgedP50MS      float64 `json:"hedged_p50_ms,omitempty"`
+	HedgedP99MS      float64 `json:"hedged_p99_ms,omitempty"`
+	HedgedP999MS     float64 `json:"hedged_p999_ms,omitempty"`
+	UnhedgedQPS      float64 `json:"unhedged_qps,omitempty"`
+	HedgedQPS        float64 `json:"hedged_qps,omitempty"`
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -316,6 +340,13 @@ func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 			}
 		case "cluster":
 			if p.Shards == e.Shards && p.Assignment == e.Assignment && p.PipelinedSec > 0 {
+				return p
+			}
+		case "replica":
+			if p.Shards == e.Shards && p.Replicas == e.Replicas &&
+				p.Assignment == e.Assignment && p.Clients == e.Clients &&
+				p.StragglerDelayMS == e.StragglerDelayMS &&
+				p.StragglerEvery == e.StragglerEvery && p.HedgedP99MS > 0 {
 				return p
 			}
 		default:

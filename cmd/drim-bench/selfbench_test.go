@@ -20,7 +20,10 @@ func TestLastComparableModeIsolation(t *testing.T) {
 		Assignment: "hash", PipelinedSec: 0.3})
 	cl2km := shape(benchEntry{Timestamp: "t4", Mode: "cluster", Shards: 2,
 		Assignment: "kmeans", PipelinedSec: 0.6})
-	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km}
+	rep22 := shape(benchEntry{Timestamp: "t5", Mode: "replica", Shards: 2, Replicas: 2,
+		Assignment: "hash", Clients: 8, StragglerDelayMS: 75, StragglerEvery: 4,
+		HedgedP99MS: 3.0})
+	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km, rep22}
 
 	cases := []struct {
 		name string
@@ -42,6 +45,18 @@ func TestLastComparableModeIsolation(t *testing.T) {
 			Shards: 2, Assignment: "kmeans", PipelinedSec: 0.4}), "t4"},
 		{"cluster never matches bench shape", shape(benchEntry{Mode: "cluster",
 			Shards: 0, Assignment: "", PipelinedSec: 0.4}), ""},
+		{"replica matches same fleet+straggler", shape(benchEntry{Mode: "replica",
+			Shards: 2, Replicas: 2, Assignment: "hash", Clients: 8,
+			StragglerDelayMS: 75, StragglerEvery: 4, HedgedP99MS: 2.0}), "t5"},
+		{"replica count isolates", shape(benchEntry{Mode: "replica",
+			Shards: 2, Replicas: 3, Assignment: "hash", Clients: 8,
+			StragglerDelayMS: 75, StragglerEvery: 4, HedgedP99MS: 2.0}), ""},
+		{"replica straggler config isolates", shape(benchEntry{Mode: "replica",
+			Shards: 2, Replicas: 2, Assignment: "hash", Clients: 8,
+			StragglerDelayMS: 50, StragglerEvery: 4, HedgedP99MS: 2.0}), ""},
+		{"replica never matches cluster", shape(benchEntry{Mode: "replica",
+			Shards: 2, Replicas: 0, Assignment: "hash", Clients: 0,
+			HedgedP99MS: 2.0}), ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -93,7 +93,28 @@
 // top-k. Per-shard batching policy, backpressure, cancellation and draining
 // Close behave exactly as for a single Server; `drim-bench -shards N` runs
 // the offline scatter-gather path and records mode:"cluster" entries in
-// BENCH_core.json.
+// BENCH_core.json. The scatter fast-fails: the first shard to fail cancels
+// its siblings' in-flight work through a per-query derived context.
+//
+// Replication masks the tail. ClusterOptions.Replicas > 1 clones each
+// shard's engine R ways — replicas are deterministic copies, so any
+// replica's answer is its shard's answer, bit-identically — and the cluster
+// server runs one micro-batcher per replica. Each query is routed within
+// its shard by power-of-two-choices on instantaneous replica load
+// (queued + in-launch); if the chosen replica has not answered within a
+// hedge delay derived from the sibling replicas' p99 latency estimates
+// (clamped by ClusterRouteOptions.HedgeMin/HedgeMax), the request is
+// re-issued to a second replica and the first reply wins, the loser
+// canceled through the per-query context. A replica that fails outright is
+// retried on another immediately, and a consecutive-failure breaker ejects
+// it from rotation, letting one probe through per cooldown window until a
+// success closes the breaker. A wedged, slow, erroring or killed replica is
+// therefore masked — queries keep completing with bit-identical results as
+// long as any replica of each shard answers (internal/fault injects exactly
+// those failure modes to pin this, and `drim-bench -replicas R -straggler`
+// measures hedged vs unhedged tail latency into mode:"replica" entries).
+// NewClusterServerRouted exposes the routing policy; NewClusterServer uses
+// defaults.
 //
 // Quick start:
 //
@@ -291,18 +312,43 @@ func BuildSharded(base Vectors, profile Vectors, iopt IndexOptions, copt Cluster
 // Server per shard behind a single scatter-gather Search front door.
 type ClusterServer = cluster.Server
 
-// ClusterServerStats snapshots a ClusterServer's front-door ledger plus the
-// per-shard serving stats and their aggregate.
+// ClusterServerStats snapshots a ClusterServer's front-door ledger, the
+// replication machinery's counters (hedges, hedge wins, failovers, breaker
+// ejections), and the per-shard, per-replica serving stats with their
+// aggregate.
 type ClusterServerStats = cluster.ServerStats
+
+// ClusterShardStats groups one shard's per-replica serving ledgers.
+type ClusterShardStats = cluster.ShardStats
+
+// ClusterReplicaStats is one replica's serving ledger plus the routing
+// state the front door keeps about it (load, p99 estimate, breaker state).
+type ClusterReplicaStats = cluster.ReplicaStats
 
 // ClusterResponse is one query's merged answer from a ClusterServer.
 type ClusterResponse = cluster.Response
 
-// NewClusterServer starts one serving layer per shard (all with the same
-// options) behind a scatter-gather front door. The fleet becomes the
-// engines' only driver.
+// ClusterRouteOptions configures replica routing on a ClusterServer:
+// hedging policy, breaker thresholds, and the per-replica wrap hook fault
+// injection uses. Zero values select defaults.
+type ClusterRouteOptions = cluster.RouteOptions
+
+// ClusterReplica is the contract one replica of a shard serves behind; a
+// *Server satisfies it, as do the fault-injection wrappers in
+// internal/fault.
+type ClusterReplica = cluster.Replica
+
+// NewClusterServer starts one serving layer per shard replica (all with the
+// same options) behind a scatter-gather front door with default routing.
+// The fleet becomes the engines' only driver.
 func NewClusterServer(cl *Cluster, opt ServerOptions) (*ClusterServer, error) {
 	return cluster.NewServer(cl, opt)
+}
+
+// NewClusterServerRouted is NewClusterServer with explicit replica-routing
+// options (hedging policy, breaker thresholds, the replica wrap hook).
+func NewClusterServerRouted(cl *Cluster, opt ServerOptions, route ClusterRouteOptions) (*ClusterServer, error) {
+	return cluster.NewServerRouted(cl, opt, route)
 }
 
 // GroundTruth computes exact top-k neighbors by parallel brute force.

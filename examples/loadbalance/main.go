@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"drimann"
+	"drimann/internal/fault"
 )
 
 func main() {
@@ -152,4 +153,51 @@ func main() {
 	cst := csrv.Stats()
 	fmt.Printf("\nsharded fleet (3 shards x 32 DPUs): %d queries, fleet QPS %.0f, imbalance %.2f, mean shard batch %.1f\n",
 		cst.Completed, cst.Agg.Sim.QPS, cst.Agg.Sim.AvgImbalance(), cst.Agg.MeanBatch)
+
+	// Replication is load balancing across time: 2 replicas per shard mask
+	// a replica that sometimes stalls the way layout balancing masks a DPU
+	// that is sometimes overloaded. One replica of each shard is wrapped in
+	// a fault-injected straggler (every 3rd call stalls 30ms); the router
+	// picks the less loaded replica per query and hedges to the sibling when
+	// the pick stalls, so the skewed traffic completes — bit-identically —
+	// without ever waiting out a stall.
+	rcl, err := drimann.NewCluster(ix, corpus.Queries, drimann.ClusterOptions{
+		Shards: 3, Replicas: 2, Assignment: drimann.AssignKMeans, Engine: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsrv, err := drimann.NewClusterServerRouted(rcl, drimann.ServerOptions{
+		MaxBatch: 96, MaxWait: 50 * time.Millisecond,
+	}, drimann.ClusterRouteOptions{
+		WrapReplica: func(shard, replica int, r drimann.ClusterReplica) drimann.ClusterReplica {
+			if replica == 1 {
+				return fault.Wrap(r, fault.Plan{
+					Delay: 30 * time.Millisecond, DelayEvery: 3, Seed: int64(shard),
+				})
+			}
+			return r
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := c; qi < corpus.Queries.N; qi += clients {
+				if _, err := rsrv.Search(context.Background(), corpus.Queries.Vec(qi), 0); err != nil {
+					log.Fatalf("replicated query %d: %v", qi, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := rsrv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rst := rsrv.Stats()
+	fmt.Printf("replicated fleet (3 shards x 2 replicas, straggler injected): %d queries, %d hedges (%d won), %d failovers\n",
+		rst.Completed, rst.Hedged, rst.HedgeWins, rst.Failovers)
 }

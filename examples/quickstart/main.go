@@ -1,7 +1,8 @@
 // Quickstart: build a DRIM-ANN index over a synthetic SIFT-shaped corpus,
 // deploy it on the simulated UPMEM DRAM-PIM system, run a query batch,
-// serve single queries online through the micro-batching server, and scale
-// out across a sharded scatter-gather fleet.
+// serve single queries online through the micro-batching server, scale out
+// across a sharded scatter-gather fleet, and mask an injected straggler
+// with replica hedging.
 package main
 
 import (
@@ -10,9 +11,11 @@ import (
 	"log"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drimann"
+	"drimann/internal/fault"
 )
 
 func main() {
@@ -121,4 +124,58 @@ func main() {
 	}
 	fmt.Printf("sharded fleet (4 shards): %.0f QPS (simulated), results identical to single engine: %v\n",
 		cres.Metrics.QPS, identical)
+
+	// 8. Replication masks the tail: the same index across 2 shards with 2
+	//    replicas each. Replicas are deterministic engine clones, so any
+	//    replica's answer is its shard's answer — the front door routes each
+	//    query to the less loaded replica, and hedges to the other when the
+	//    first stalls. To show it working, one replica of every shard is
+	//    wrapped in a fault-injected straggler that stalls every 3rd call by
+	//    40ms; results stay bit-identical to step 4 regardless of which
+	//    replica answers.
+	rcl, err := drimann.NewCluster(ix, corpus.Queries, drimann.ClusterOptions{
+		Shards: 2, Replicas: 2, Assignment: drimann.AssignHash, Engine: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	route := drimann.ClusterRouteOptions{
+		WrapReplica: func(shard, replica int, r drimann.ClusterReplica) drimann.ClusterReplica {
+			if replica == 1 {
+				return fault.Wrap(r, fault.Plan{
+					Delay: 40 * time.Millisecond, DelayEvery: 3, Seed: int64(shard),
+				})
+			}
+			return r
+		},
+	}
+	rsrv, err := drimann.NewClusterServerRouted(rcl, drimann.ServerOptions{
+		MaxBatch: 64, MaxWait: 500 * time.Microsecond,
+	}, route)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var diverged atomic.Bool
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for qi := c; qi < 64; qi += 4 {
+				resp, err := rsrv.Search(context.Background(), corpus.Queries.Vec(qi), 10)
+				if err != nil {
+					log.Fatalf("replicated query %d: %v", qi, err)
+				}
+				if !slices.Equal(resp.IDs, res.IDs[qi][:10]) {
+					diverged.Store(true)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := rsrv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rst := rsrv.Stats()
+	fmt.Printf("replicated fleet (2 shards x 2 replicas, straggler injected): %d queries, %d hedges (%d won), results identical: %v\n",
+		rst.Completed, rst.Hedged, rst.HedgeWins, !diverged.Load())
 }

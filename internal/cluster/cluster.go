@@ -66,18 +66,28 @@ const (
 
 // Options configures a Cluster.
 type Options struct {
-	// Shards is the number of independent engines; default 2.
+	// Shards is the number of independent partitions; default 2.
 	Shards int
+	// Replicas is the number of identical engines per shard (R-way
+	// replication); default 1. Engine construction is deterministic, so the
+	// replicas of a shard answer bit-identically — the serving layer
+	// (NewServer) exploits that to route each query to any one replica,
+	// hedge stragglers, and mask dead replicas, while the offline
+	// Cluster.SearchBatch always runs on replica 0.
+	Replicas int
 	// Assignment picks the partitioning policy; default AssignHash.
 	Assignment Assignment
 	// Engine configures every per-shard engine (NumDPUs is per shard, so a
-	// fleet of S shards simulates S x NumDPUs devices).
+	// fleet of S shards simulates S x NumDPUs devices per replica).
 	Engine core.Options
 }
 
 func (o *Options) defaults() error {
 	if o.Shards <= 0 {
 		o.Shards = 2
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
 	}
 	switch o.Assignment {
 	case "":
@@ -89,10 +99,15 @@ func (o *Options) defaults() error {
 	return nil
 }
 
-// Shard is one partition: an engine over the shard's sub-index plus the
-// monotone local→global ID table.
+// Shard is one partition: its replica engines over the shard's sub-index
+// plus the monotone local→global ID table.
 type Shard struct {
+	// Engine is replica 0 — the engine offline scatter-gather uses.
 	Engine *core.Engine
+	// Engines holds every replica engine (Engines[0] == Engine). Replicas
+	// are built from the same sub-index with the same options, so they are
+	// interchangeable: any replica's answer is the shard's answer.
+	Engines []*core.Engine
 	// GlobalID maps shard-local point IDs to corpus-global IDs; strictly
 	// increasing, so the deterministic (dist, id) order survives the remap.
 	GlobalID []int32
@@ -225,17 +240,27 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 		if err := core.ValidateRemapTable(tables[s]); err != nil {
 			return nil, err
 		}
-		eng, err := core.New(sub, profile, opt.Engine)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %d engine: %w", s, err)
+		engines := make([]*core.Engine, opt.Replicas)
+		for r := range engines {
+			eng, err := core.New(sub, profile, opt.Engine)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d replica %d engine: %w", s, r, err)
+			}
+			engines[r] = eng
 		}
-		cl.shards[s] = &Shard{Engine: eng, GlobalID: tables[s], Points: len(tables[s])}
+		cl.shards[s] = &Shard{
+			Engine: engines[0], Engines: engines,
+			GlobalID: tables[s], Points: len(tables[s]),
+		}
 	}
 	return cl, nil
 }
 
 // Shards exposes the fleet (for inspection, serving and tests).
 func (cl *Cluster) Shards() []*Shard { return cl.shards }
+
+// Replicas reports the configured replication factor R.
+func (cl *Cluster) Replicas() int { return cl.opt.Replicas }
 
 // Index returns the shared unsharded index the fleet was partitioned from.
 func (cl *Cluster) Index() *ivf.Index { return cl.ix }

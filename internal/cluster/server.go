@@ -1,9 +1,25 @@
-// ClusterServer: one online front door over a sharded fleet. Each shard
-// gets its own internal/serve micro-batching server (the per-shard batching
-// policy is exactly the single-engine one — deadline EWMA, bounded
-// admission queue, draining Close); the front door validates once, copies
-// the query once, scatters it to every shard server concurrently via the
-// no-copy SearchOwned hook, and gathers/merges the partial top-k.
+// ClusterServer: one online front door over a sharded, replicated fleet.
+// Every shard is served by R interchangeable replicas, each a full
+// internal/serve micro-batching server over its own engine clone (the
+// per-replica batching policy is exactly the single-engine one — deadline
+// EWMA, bounded admission queue, draining Close).
+//
+// The front door validates once, copies the query once, and scatters it to
+// every shard concurrently under a per-query derived context. Within a
+// shard the query is routed to one replica by power-of-two-choices on the
+// replicas' instantaneous load (queued + in-launch, serve.Server.Load); if
+// the chosen replica has not answered within a hedge delay derived from the
+// sibling replicas' p99 latency digests, the request is re-issued to a
+// second replica and the first reply wins (the loser is canceled through
+// the per-query context). A replica that fails outright is retried on
+// another replica immediately (failover), and a breaker ejects a replica
+// after consecutive failures, letting a probe through per cooldown window
+// until a success closes it — so a slow, wedged, erroring or dead replica
+// is masked instead of dominating the merge, and the query completes with
+// the same bit-identical merged result whenever any replica of each shard
+// answers. The scatter itself fast-fails: the first shard whose every
+// usable replica has failed cancels its siblings' in-flight work and fails
+// the query.
 
 package cluster
 
@@ -20,15 +36,61 @@ import (
 	"drimann/internal/topk"
 )
 
+// ReplicaStats is one replica's serving ledger plus the routing state the
+// front door keeps about it.
+type ReplicaStats struct {
+	serve.Stats
+	// Load is the instantaneous queued+in-launch gauge routing compares.
+	Load int
+	// P99 is the latency-digest estimate hedge delays derive from (0 while
+	// the digest is empty).
+	P99 time.Duration
+	// Ejected reports whether the breaker currently holds the replica out
+	// of normal rotation; ConsecutiveFails its current failure streak.
+	Ejected          bool
+	ConsecutiveFails int
+}
+
+// ShardStats groups the replica ledgers of one shard.
+type ShardStats struct {
+	Replicas []ReplicaStats
+}
+
+// Total sums the shard's per-replica serve ledgers (Sim is the replicas'
+// parallel metrics view).
+func (ss ShardStats) Total() serve.Stats {
+	var t serve.Stats
+	var latSum, batchSum float64
+	for _, rs := range ss.Replicas {
+		t.Enqueued += rs.Enqueued
+		t.Completed += rs.Completed
+		t.Canceled += rs.Canceled
+		t.Failed += rs.Failed
+		t.Rejected += rs.Rejected
+		t.Batches += rs.Batches
+		t.QueueDepth += rs.QueueDepth
+		t.Inflight += rs.Inflight
+		latSum += float64(rs.AvgLatency) * float64(rs.Completed)
+		batchSum += rs.MeanBatch * float64(rs.Completed)
+		t.Sim.MergeParallel(&rs.Sim)
+	}
+	if t.Completed > 0 {
+		t.AvgLatency = time.Duration(latSum / float64(t.Completed))
+		t.MeanBatch = batchSum / float64(t.Completed)
+	}
+	return t
+}
+
 // ServerStats is a point-in-time snapshot of a ClusterServer's serving
-// metrics: the front door's scatter-gather ledger plus the per-shard
-// serve.Stats and their aggregated view.
+// metrics: the front door's scatter-gather ledger, the replication
+// machinery's counters, and the per-shard, per-replica serve ledgers.
 type ServerStats struct {
 	// Completed counts scatter-gather queries answered with results;
 	// Canceled counts queries lost to the caller's context (canceled or
 	// deadline-exceeded); Rejected counts refusals — bad argument at the
 	// front door, or the fleet already closed (serve.ErrClosed); Failed
-	// counts queries where a shard returned a genuine engine/launch error.
+	// counts queries where every usable replica of some shard returned a
+	// genuine engine/launch error.
 	Completed uint64
 	Canceled  uint64
 	Rejected  uint64
@@ -37,13 +99,22 @@ type ServerStats struct {
 	// (slowest-shard wall time: a query is done when its last shard is).
 	AvgLatency time.Duration
 
-	// Shards holds each shard server's own ledger. Every front-door query
-	// appears once in every shard's ledger (the scatter fans it out S ways).
-	Shards []serve.Stats
-	// Agg sums the per-shard ledgers (so Agg.Enqueued ≈ S x Completed under
-	// error-free traffic) — except Agg.Sim, which is the cross-shard
-	// parallel metrics view (core.Metrics.MergeParallel): counters sum,
-	// wall-like durations are max-over-shards.
+	// Hedged counts hedge attempts issued (the timer fired and a second
+	// replica was asked); HedgeWins those whose answer arrived first.
+	// Failovers counts attempts re-issued after a replica error;
+	// BreakerEjections counts breaker open transitions.
+	Hedged           uint64
+	HedgeWins        uint64
+	Failovers        uint64
+	BreakerEjections uint64
+
+	// Shards holds each shard's per-replica ledgers. Every front-door query
+	// appears once in exactly one replica of every shard — plus once more
+	// per hedge or failover attempt it needed.
+	Shards []ShardStats
+	// Agg sums every replica's ledger — except Agg.Sim, which is the
+	// cross-replica parallel metrics view (core.Metrics.MergeParallel):
+	// counters sum, wall-like durations are max-over-engines.
 	Agg serve.Stats
 }
 
@@ -60,49 +131,272 @@ type Response struct {
 	// MaxShardBatch is the largest micro-batch any shard served this query
 	// in (the per-shard BatchSize, maxed over shards).
 	MaxShardBatch int
+	// Hedged reports whether any shard of this query issued a hedge
+	// attempt.
+	Hedged bool
 }
 
-// Server is the sharded online serving layer. Construct with NewServer;
-// all methods are safe for concurrent use.
+// Server is the sharded, replicated online serving layer. Construct with
+// NewServer or NewServerRouted; all methods are safe for concurrent use.
 type Server struct {
-	cl   *Cluster
-	srvs []*serve.Server
+	cl     *Cluster
+	opt    RouteOptions
+	groups [][]*replicaHandle // [shard][replica]
 
-	completed atomic.Uint64
+	choice atomic.Uint64 // power-of-two-choices pick stream
+
 	canceled  atomic.Uint64
 	rejected  atomic.Uint64
 	failed    atomic.Uint64
-	latencyNS atomic.Int64
+	hedged    atomic.Uint64
+	hedgeWins atomic.Uint64
+	failovers atomic.Uint64
+	ejections atomic.Uint64
+
+	// Completed and its latency sum snapshot under one mutex so AvgLatency
+	// never divides a torn pair.
+	doneMu    sync.Mutex
+	completed uint64
+	latencyNS int64
 }
 
-// NewServer starts one serve.Server per shard (all with the same options)
-// behind a scatter-gather front door. The fleet becomes the engines' only
-// driver: do not call the shard engines or Cluster.SearchBatch concurrently
-// with a live server.
+// NewServer starts one serve.Server per shard replica (all with the same
+// options) behind a scatter-gather front door with default routing. The
+// fleet becomes the engines' only driver: do not call the shard engines or
+// Cluster.SearchBatch concurrently with a live server.
 func NewServer(cl *Cluster, opt serve.Options) (*Server, error) {
+	return NewServerRouted(cl, opt, RouteOptions{})
+}
+
+// NewServerRouted is NewServer with explicit replica-routing options
+// (hedging policy, breaker thresholds, the fault-injection wrap hook).
+func NewServerRouted(cl *Cluster, opt serve.Options, route RouteOptions) (*Server, error) {
 	if cl == nil {
 		return nil, fmt.Errorf("cluster: nil cluster")
 	}
-	s := &Server{cl: cl, srvs: make([]*serve.Server, len(cl.shards))}
-	for i, sh := range cl.shards {
-		srv, err := serve.New(sh.Engine, opt)
-		if err != nil {
-			for _, started := range s.srvs[:i] {
-				started.Close()
+	route.defaults()
+	s := &Server{cl: cl, opt: route, groups: make([][]*replicaHandle, len(cl.shards))}
+	s.choice.Store(route.Seed)
+	for si, sh := range cl.shards {
+		s.groups[si] = make([]*replicaHandle, len(sh.Engines))
+		for ri, eng := range sh.Engines {
+			srv, err := serve.New(eng, opt)
+			if err != nil {
+				s.closeStarted()
+				return nil, fmt.Errorf("cluster: shard %d replica %d server: %w", si, ri, err)
 			}
-			return nil, fmt.Errorf("cluster: shard %d server: %w", i, err)
+			var rep Replica = srv
+			if route.WrapReplica != nil {
+				rep = route.WrapReplica(si, ri, rep)
+			}
+			s.groups[si][ri] = &replicaHandle{rep: rep}
 		}
-		s.srvs[i] = srv
 	}
 	return s, nil
 }
 
-// Search submits one query to every shard concurrently and blocks until
-// the merged answer is ready, ctx is done, or the fleet closes. The
-// argument contract matches serve.Server.Search: q must have the index
-// dimensionality (copied once at the front door), k <= 0 selects the
-// engines' configured K, larger k is an error. If any shard fails the
-// whole query fails (serve.ErrClosed is surfaced as such via errors.Is).
+// closeStarted closes whatever replicas a failed constructor already
+// started.
+func (s *Server) closeStarted() {
+	for _, g := range s.groups {
+		for _, h := range g {
+			if h != nil {
+				h.rep.Close()
+			}
+		}
+	}
+}
+
+// pick selects a replica for the next attempt. An untried ejected replica
+// whose cooldown has elapsed claims the half-open probe and is routed to
+// first — probe-back must happen even while healthy siblings could serve
+// the query, or an ejected replica never rejoins. Otherwise the pick is
+// power-of-two-choices on Load among breaker-closed untried replicas.
+// With no closed replica left, lastResort selects any untried replica —
+// for the primary attempt and failovers a known-bad replica is still
+// better than certain failure — while a hedge (lastResort false) is an
+// optimization that declines instead. Reports false when no replica is
+// eligible.
+func (s *Server) pick(g []*replicaHandle, tried uint64, lastResort bool) (int, bool) {
+	n := len(g)
+	first := -1 // first untried replica, the last-resort fallback
+	cand := make([]int, 0, n)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		if tried&(1<<uint(i)) != 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		if g[i].brk.closed() {
+			cand = append(cand, i)
+		} else if g[i].brk.tryProbe(now, s.opt.BreakerCooldown) {
+			return i, true
+		}
+	}
+	if first < 0 {
+		return 0, false
+	}
+	switch len(cand) {
+	case 0:
+		if !lastResort {
+			return 0, false
+		}
+		return first, true
+	case 1:
+		return cand[0], true
+	default:
+		// Power of two choices: sample two distinct candidates from the
+		// deterministic choice stream, route to the less loaded one (ties
+		// alternate so neither replica is systematically preferred).
+		r := splitmix64(s.choice.Add(1))
+		a := int(r % uint64(len(cand)))
+		b := int((r >> 32) % uint64(len(cand)-1))
+		if b >= a {
+			b++
+		}
+		ca, cb := cand[a], cand[b]
+		la, lb := g[ca].rep.Load(), g[cb].rep.Load()
+		switch {
+		case la < lb:
+			return ca, true
+		case lb < la:
+			return cb, true
+		case r&(1<<16) == 0:
+			return ca, true
+		default:
+			return cb, true
+		}
+	}
+}
+
+// hedgeDelay derives the hedge timer for a query routed to g[primary]: the
+// smallest p99 estimate among the sibling replicas the hedge could go to
+// (if a sibling is likely to answer within d, waiting longer than d on a
+// silent primary is wasted tail), clamped to [HedgeMin, HedgeMax], with
+// HedgeGuess standing in while the digests are empty.
+func (s *Server) hedgeDelay(g []*replicaHandle, primary int) time.Duration {
+	best := time.Duration(0)
+	for i, h := range g {
+		if i == primary || !h.brk.closed() {
+			continue
+		}
+		if p := h.dig.P99(); p > 0 && (best == 0 || p < best) {
+			best = p
+		}
+	}
+	if best == 0 {
+		best = s.opt.HedgeGuess
+	}
+	if best < s.opt.HedgeMin {
+		best = s.opt.HedgeMin
+	}
+	if best > s.opt.HedgeMax {
+		best = s.opt.HedgeMax
+	}
+	return best
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	idx   int
+	resp  serve.Response
+	err   error
+	dur   time.Duration
+	hedge bool
+}
+
+// searchShard answers one query on one shard: route to a replica, hedge if
+// it stalls, fail over if it errors, and return the first reply. Loser
+// attempts are canceled through the attempt context when the function
+// returns. An error return means the caller's context died, the fleet
+// closed, or every usable replica failed.
+func (s *Server) searchShard(qctx context.Context, g []*replicaHandle, q []uint8, k int) (serve.Response, bool, error) {
+	actx, acancel := context.WithCancel(qctx)
+	defer acancel()
+
+	results := make(chan attemptResult, len(g))
+	var tried uint64
+	inflight := 0
+	launch := func(idx int, hedge bool) {
+		tried |= 1 << uint(idx)
+		inflight++
+		go func() {
+			t0 := time.Now()
+			resp, err := g[idx].rep.SearchOwned(actx, q, k)
+			results <- attemptResult{idx: idx, resp: resp, err: err, dur: time.Since(t0), hedge: hedge}
+		}()
+	}
+
+	primary, ok := s.pick(g, tried, true)
+	if !ok {
+		return serve.Response{}, false, fmt.Errorf("cluster: shard has no replicas")
+	}
+	launch(primary, false)
+
+	hedgedAny := false
+	var hedgeC <-chan time.Time
+	if !s.opt.DisableHedge && len(g) > 1 {
+		timer := time.NewTimer(s.hedgeDelay(g, primary))
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-qctx.Done():
+			return serve.Response{}, hedgedAny, qctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if idx, ok := s.pick(g, tried, false); ok {
+				s.hedged.Add(1)
+				hedgedAny = true
+				launch(idx, true)
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				g[r.idx].dig.record(r.dur)
+				g[r.idx].brk.success()
+				if r.hedge {
+					s.hedgeWins.Add(1)
+				}
+				return r.resp, hedgedAny, nil
+			}
+			if err := qctx.Err(); err != nil {
+				return serve.Response{}, hedgedAny, err
+			}
+			if errors.Is(r.err, serve.ErrClosed) {
+				// The fleet is shutting down; no replica will do better.
+				return serve.Response{}, hedgedAny, r.err
+			}
+			// Genuine replica failure: charge the breaker and fail over to
+			// an untried replica immediately.
+			if g[r.idx].brk.fail(s.opt.BreakerFailures, s.opt.BreakerCooldown, time.Now()) {
+				s.ejections.Add(1)
+			}
+			lastErr = r.err
+			if idx, ok := s.pick(g, tried, true); ok {
+				s.failovers.Add(1)
+				launch(idx, false)
+			} else if inflight == 0 {
+				return serve.Response{}, hedgedAny, lastErr
+			}
+		}
+	}
+}
+
+// Search submits one query to every shard concurrently — each shard routes
+// it to one of its replicas, hedging and failing over as needed — and
+// blocks until the merged answer is ready, ctx is done, or the fleet
+// closes. The argument contract matches serve.Server.Search: q must have
+// the index dimensionality (copied once at the front door), k <= 0 selects
+// the engines' configured K, larger k is an error. The scatter fast-fails:
+// the first shard to fail cancels its siblings' in-flight work through the
+// per-query derived context (serve.ErrClosed is surfaced as such via
+// errors.Is).
 func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -117,40 +411,56 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		s.rejected.Add(1)
 		return Response{}, fmt.Errorf("cluster: k %d exceeds engine K %d", k, s.cl.K())
 	}
-	// One copy at the front door; the per-shard servers use the no-copy
-	// SearchOwned hook against it (immutable until every shard replied).
+	// One copy at the front door; the per-replica servers use the no-copy
+	// SearchOwned hook against it (immutable until the last reply).
 	owned := append([]uint8(nil), q...)
 
+	// The per-query context: canceling it aborts every in-flight replica
+	// attempt of every shard, which is how the first failing shard stops
+	// its siblings from finishing work nobody will merge.
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+
 	t0 := time.Now()
-	resps := make([]serve.Response, len(s.srvs))
-	errs := make([]error, len(s.srvs))
-	var wg sync.WaitGroup
-	for i, srv := range s.srvs {
-		wg.Add(1)
-		go func(i int, srv *serve.Server) {
-			defer wg.Done()
-			resps[i], errs[i] = srv.SearchOwned(ctx, owned, k)
-		}(i, srv)
+	type shardResult struct {
+		shard  int
+		resp   serve.Response
+		hedged bool
+		err    error
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			// Contract errors pass through unwrapped so callers can
-			// errors.Is them exactly as with a single serve.Server, and the
-			// ledger classifies them the way the single-server one does:
-			// closed fleets are refusals, lost contexts are cancellations,
-			// only genuine shard errors count as failures.
-			switch {
-			case errors.Is(err, serve.ErrClosed):
-				s.rejected.Add(1)
-				return Response{}, err
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				s.canceled.Add(1)
-				return Response{}, err
-			default:
-				s.failed.Add(1)
-				return Response{}, fmt.Errorf("cluster: shard %d: %w", i, err)
-			}
+	results := make(chan shardResult, len(s.groups))
+	for si, g := range s.groups {
+		go func(si int, g []*replicaHandle) {
+			resp, hedged, err := s.searchShard(qctx, g, owned, k)
+			results <- shardResult{shard: si, resp: resp, hedged: hedged, err: err}
+		}(si, g)
+	}
+
+	resps := make([]serve.Response, len(s.groups))
+	hedgedAny := false
+	for range s.groups {
+		r := <-results
+		if r.err == nil {
+			resps[r.shard] = r.resp
+			hedgedAny = hedgedAny || r.hedged
+			continue
+		}
+		// Fast-fail: cancel sibling shards' in-flight work and classify.
+		// Contract errors pass through unwrapped so callers can errors.Is
+		// them exactly as with a single serve.Server: closed fleets are
+		// refusals, lost contexts are cancellations, only genuine replica
+		// errors count as failures.
+		qcancel()
+		switch {
+		case errors.Is(r.err, serve.ErrClosed):
+			s.rejected.Add(1)
+			return Response{}, r.err
+		case errors.Is(r.err, context.Canceled), errors.Is(r.err, context.DeadlineExceeded):
+			s.canceled.Add(1)
+			return Response{}, r.err
+		default:
+			s.failed.Add(1)
+			return Response{}, fmt.Errorf("cluster: shard %d: %w", r.shard, r.err)
 		}
 	}
 
@@ -165,22 +475,30 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 	}
 	ids, items := core.MergeShardTopK(k, parts)
 	lat := time.Since(t0)
-	s.completed.Add(1)
-	s.latencyNS.Add(int64(lat))
-	return Response{IDs: ids, Items: items, Latency: lat, MaxShardBatch: maxBatch}, nil
+	s.doneMu.Lock()
+	s.completed++
+	s.latencyNS += int64(lat)
+	s.doneMu.Unlock()
+	return Response{IDs: ids, Items: items, Latency: lat, MaxShardBatch: maxBatch, Hedged: hedgedAny}, nil
 }
 
-// Close seals every shard server (concurrently) and waits for each to
+// Close seals every replica server (concurrently) and waits for each to
 // drain. Safe to call multiple times and concurrently.
 func (s *Server) Close() error {
-	errs := make([]error, len(s.srvs))
 	var wg sync.WaitGroup
-	for i, srv := range s.srvs {
+	errs := make([]error, len(s.groups))
+	for si, g := range s.groups {
 		wg.Add(1)
-		go func(i int, srv *serve.Server) {
+		go func(si int, g []*replicaHandle) {
 			defer wg.Done()
-			errs[i] = srv.Close()
-		}(i, srv)
+			var first error
+			for _, h := range g {
+				if err := h.rep.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			errs[si] = first
+		}(si, g)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -189,32 +507,47 @@ func (s *Server) Close() error {
 // Stats snapshots the fleet's serving metrics.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
-		Completed: s.completed.Load(),
-		Canceled:  s.canceled.Load(),
-		Rejected:  s.rejected.Load(),
-		Failed:    s.failed.Load(),
-		Shards:    make([]serve.Stats, len(s.srvs)),
+		Canceled:         s.canceled.Load(),
+		Rejected:         s.rejected.Load(),
+		Failed:           s.failed.Load(),
+		Hedged:           s.hedged.Load(),
+		HedgeWins:        s.hedgeWins.Load(),
+		Failovers:        s.failovers.Load(),
+		BreakerEjections: s.ejections.Load(),
+		Shards:           make([]ShardStats, len(s.groups)),
 	}
-	if st.Completed > 0 {
-		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(st.Completed))
+	s.doneMu.Lock()
+	st.Completed = s.completed
+	if s.completed > 0 {
+		st.AvgLatency = time.Duration(s.latencyNS / int64(s.completed))
 	}
+	s.doneMu.Unlock()
 	var completedSum uint64
-	var latSum float64
-	var batchSum float64
-	for i, srv := range s.srvs {
-		ss := srv.Stats()
-		st.Shards[i] = ss
-		st.Agg.Enqueued += ss.Enqueued
-		st.Agg.Completed += ss.Completed
-		st.Agg.Canceled += ss.Canceled
-		st.Agg.Failed += ss.Failed
-		st.Agg.Rejected += ss.Rejected
-		st.Agg.Batches += ss.Batches
-		st.Agg.QueueDepth += ss.QueueDepth
-		completedSum += ss.Completed
-		latSum += float64(ss.AvgLatency) * float64(ss.Completed)
-		batchSum += ss.MeanBatch * float64(ss.Completed)
-		st.Agg.Sim.MergeParallel(&ss.Sim)
+	var latSum, batchSum float64
+	for si, g := range s.groups {
+		st.Shards[si].Replicas = make([]ReplicaStats, len(g))
+		for ri, h := range g {
+			rs := ReplicaStats{
+				Stats: h.rep.Stats(),
+				Load:  h.rep.Load(),
+				P99:   h.dig.P99(),
+			}
+			rs.ConsecutiveFails, rs.Ejected = h.brk.snapshot()
+			st.Shards[si].Replicas[ri] = rs
+
+			st.Agg.Enqueued += rs.Enqueued
+			st.Agg.Completed += rs.Completed
+			st.Agg.Canceled += rs.Canceled
+			st.Agg.Failed += rs.Failed
+			st.Agg.Rejected += rs.Rejected
+			st.Agg.Batches += rs.Batches
+			st.Agg.QueueDepth += rs.QueueDepth
+			st.Agg.Inflight += rs.Inflight
+			completedSum += rs.Completed
+			latSum += float64(rs.AvgLatency) * float64(rs.Completed)
+			batchSum += rs.MeanBatch * float64(rs.Completed)
+			st.Agg.Sim.MergeParallel(&rs.Sim)
+		}
 	}
 	if completedSum > 0 {
 		st.Agg.AvgLatency = time.Duration(latSum / float64(completedSum))
@@ -223,13 +556,15 @@ func (s *Server) Stats() ServerStats {
 	return st
 }
 
-// Metrics returns the cross-shard parallel view of the fleet's aggregated
+// Metrics returns the cross-engine parallel view of the fleet's aggregated
 // simulated engine metrics.
 func (s *Server) Metrics() core.Metrics {
 	var m core.Metrics
-	for _, srv := range s.srvs {
-		sm := srv.Metrics()
-		m.MergeParallel(&sm)
+	for _, g := range s.groups {
+		for _, h := range g {
+			sm := h.rep.Stats().Sim
+			m.MergeParallel(&sm)
+		}
 	}
 	return m
 }

@@ -78,8 +78,9 @@ func TestClusterServerEquivalence(t *testing.T) {
 		t.Fatalf("aggregate shard completions %d, want %d", st.Agg.Completed, 3*s.Queries.N)
 	}
 	for si, ss := range st.Shards {
-		if ss.Enqueued != ss.Completed+ss.Canceled+ss.Failed {
-			t.Fatalf("shard %d ledger unbalanced: %+v", si, ss)
+		tot := ss.Total()
+		if tot.Enqueued != tot.Completed+tot.Canceled+tot.Failed {
+			t.Fatalf("shard %d ledger unbalanced: %+v", si, tot)
 		}
 	}
 	if st.Agg.Sim.PointsScanned == 0 {

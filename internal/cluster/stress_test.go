@@ -99,11 +99,12 @@ func TestClusterStress(t *testing.T) {
 			st.Completed, st.Canceled, st.Rejected, goroutines*perG)
 	}
 	for si, ss := range st.Shards {
-		if ss.Enqueued != ss.Completed+ss.Canceled+ss.Failed {
-			t.Fatalf("shard %d ledger unbalanced after drain: %+v", si, ss)
+		tot := ss.Total()
+		if tot.Enqueued != tot.Completed+tot.Canceled+tot.Failed {
+			t.Fatalf("shard %d ledger unbalanced after drain: %+v", si, tot)
 		}
-		if ss.QueueDepth != 0 {
-			t.Fatalf("shard %d queue depth %d after drain", si, ss.QueueDepth)
+		if tot.QueueDepth != 0 {
+			t.Fatalf("shard %d queue depth %d after drain", si, tot.QueueDepth)
 		}
 	}
 }

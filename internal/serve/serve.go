@@ -127,6 +127,7 @@ type Stats struct {
 	// exactly once).
 
 	QueueDepth int // requests currently queued (admitted, not yet picked up)
+	Inflight   int // requests currently inside a running engine launch
 
 	// MeanBatch is Completed-weighted mean launch size.
 	MeanBatch float64
@@ -176,14 +177,20 @@ type Server struct {
 	est      time.Duration // EWMA of launch service time
 
 	enqueued   atomic.Uint64
-	completed  atomic.Uint64
 	canceled   atomic.Uint64
 	failed     atomic.Uint64
 	rejected   atomic.Uint64
 	batches    atomic.Uint64
-	sizeSum    atomic.Uint64
-	latencyNS  atomic.Int64
 	queueDepth atomic.Int64
+	inflight   atomic.Int64
+
+	// The completion triple updates and snapshots under one mutex: Completed
+	// and the latency/size sums it averages must come from the same instant,
+	// or Stats can divide mismatched pairs under concurrent load.
+	doneMu    sync.Mutex
+	completed uint64
+	sizeSum   uint64
+	latencyNS int64
 
 	simMu sync.Mutex
 	sim   core.Metrics
@@ -320,21 +327,31 @@ func (s *Server) Close() error {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Enqueued:   s.enqueued.Load(),
-		Completed:  s.completed.Load(),
 		Canceled:   s.canceled.Load(),
 		Failed:     s.failed.Load(),
 		Rejected:   s.rejected.Load(),
 		Batches:    s.batches.Load(),
 		QueueDepth: int(s.queueDepth.Load()),
+		Inflight:   int(s.inflight.Load()),
 	}
-	if st.Completed > 0 {
-		st.MeanBatch = float64(s.sizeSum.Load()) / float64(st.Completed)
-		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(st.Completed))
+	s.doneMu.Lock()
+	st.Completed = s.completed
+	if s.completed > 0 {
+		st.MeanBatch = float64(s.sizeSum) / float64(s.completed)
+		st.AvgLatency = time.Duration(s.latencyNS / int64(s.completed))
 	}
+	s.doneMu.Unlock()
 	s.simMu.Lock()
 	st.Sim = s.sim
 	s.simMu.Unlock()
 	return st
+}
+
+// Load is the server's instantaneous request load — queued plus in-launch
+// queries. It is the cheap gauge replica routers compare (power-of-two
+// choices picks the less loaded of two replicas).
+func (s *Server) Load() int {
+	return int(s.queueDepth.Load() + s.inflight.Load())
 }
 
 // Metrics returns the aggregated simulated engine metrics of every launch
@@ -487,6 +504,8 @@ func (s *Server) launch(batch []*request) {
 	if live == 0 {
 		return
 	}
+	s.inflight.Store(int64(live))
+	defer s.inflight.Store(0)
 
 	dim := s.eng.Dim()
 	s.qbuf = s.qbuf[:0]
@@ -531,9 +550,11 @@ func (s *Server) launch(batch []*request) {
 			items = append([]topk.Item[uint32](nil), items...)
 		}
 		lat := time.Since(r.enq)
-		s.completed.Add(1)
-		s.sizeSum.Add(uint64(live))
-		s.latencyNS.Add(int64(lat))
+		s.doneMu.Lock()
+		s.completed++
+		s.sizeSum += uint64(live)
+		s.latencyNS += int64(lat)
+		s.doneMu.Unlock()
 		r.reply <- reply{resp: Response{
 			IDs:       ids,
 			Items:     items,
