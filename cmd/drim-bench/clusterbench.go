@@ -57,13 +57,17 @@ func runClusterBench(n, queries, dpus int, seed int64, shards int, assignment st
 	}
 	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
 
+	// Both deployments get the query workload as the offline heat profile —
+	// the single engine's layout optimizer and the cluster's heat-weighted
+	// kmeans shard assignment use it the same way the paper's offline
+	// profiling stage does.
 	opts := core.DefaultOptions()
 	opts.NumDPUs = dpus
-	single, err := core.New(ix, dataset.U8Set{}, opts)
+	single, err := core.New(ix, s.Queries, opts)
 	if err != nil {
 		return err
 	}
-	cl, err := cluster.New(ix, dataset.U8Set{}, cluster.Options{
+	cl, err := cluster.New(ix, s.Queries, cluster.Options{
 		Shards: shards, Assignment: cluster.Assignment(assignment), Engine: opts,
 	})
 	if err != nil {
@@ -87,6 +91,7 @@ func runClusterBench(n, queries, dpus int, seed int64, shards int, assignment st
 		singleSec, float64(queries)/singleSec)
 
 	clusterSec := -1.0
+	clusterTotal := 0.0
 	var merged *core.Result
 	for r := 0; r < runs; r++ {
 		t := time.Now()
@@ -94,7 +99,9 @@ func runClusterBench(n, queries, dpus int, seed int64, shards int, assignment st
 		if err != nil {
 			return err
 		}
-		if sec := time.Since(t).Seconds(); clusterSec < 0 || sec < clusterSec {
+		sec := time.Since(t).Seconds()
+		clusterTotal += sec
+		if clusterSec < 0 || sec < clusterSec {
 			clusterSec = sec
 		}
 		merged = res
@@ -115,6 +122,19 @@ func runClusterBench(n, queries, dpus int, seed int64, shards int, assignment st
 		shards, clusterSec, float64(queries)/clusterSec)
 	fmt.Printf("  simulated fleet QPS %.0f (max-over-shards latency), single-system %.0f\n",
 		merged.Metrics.QPS, ref.Metrics.QPS)
+
+	// Selective-scatter routing stats: the cluster accumulates them across
+	// all runs, so the mean fan-out and the front-door CL share of wall time
+	// are averages over every measured batch.
+	st := cl.Stats()
+	frontCLShare := 0.0
+	if st.Selective {
+		if clusterTotal > 0 {
+			frontCLShare = st.Route.FrontCLWallSeconds / clusterTotal
+		}
+		fmt.Printf("  selective scatter: mean fan-out %.2f / max %d of %d shards, front-door CL %.1f%% of wall\n",
+			st.Route.MeanFanout(), st.Route.MaxFanout, shards, 100*frontCLShare)
+	}
 
 	var trajectory []benchEntry
 	raw, err := os.ReadFile(outPath)
@@ -141,6 +161,12 @@ func runClusterBench(n, queries, dpus int, seed int64, shards int, assignment st
 		SpeedupVsSerial: singleSec / clusterSec,
 		WallQPS:         float64(queries) / clusterSec,
 		SimQPS:          merged.Metrics.QPS,
+	}
+	if st.Selective {
+		entry.Selective = true
+		entry.MeanFanout = st.Route.MeanFanout()
+		entry.MaxFanout = st.Route.MaxFanout
+		entry.FrontCLShare = frontCLShare
 	}
 	if prev := lastComparable(trajectory, entry); prev != nil && clusterSec > 0 {
 		entry.SpeedupVsPrev = prev.PipelinedSec / clusterSec

@@ -106,6 +106,20 @@ type benchEntry struct {
 	Shards     int    `json:"shards,omitempty"`
 	Assignment string `json:"assignment,omitempty"`
 
+	// Selective-scatter routing fields (mode == "cluster" under kmeans
+	// assignment): Selective marks entries measured on the front-door-CL
+	// selective scatter path (coarse locate runs once at the front door and
+	// only shards owning probed clusters are contacted), as opposed to the
+	// broadcast path where every shard runs CL itself. MeanFanout/MaxFanout
+	// summarize the per-batch shards-contacted distribution; FrontCLShare is
+	// the front-door CL stage's share of the scatter-gather wall clock.
+	// Absent on broadcast entries; cross-PR comparisons never mix selective
+	// and broadcast entries.
+	Selective    bool    `json:"selective_scatter,omitempty"`
+	MeanFanout   float64 `json:"mean_fanout,omitempty"`
+	MaxFanout    int     `json:"max_fanout,omitempty"`
+	FrontCLShare float64 `json:"front_cl_share,omitempty"`
+
 	// Replica-mode fields (mode == "replica"): the -replicas tail-masking
 	// benchmark. Replicas is the copies per shard; StragglerDelayMS /
 	// StragglerEvery describe the injected straggler (every
@@ -339,7 +353,8 @@ func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 				return p
 			}
 		case "cluster":
-			if p.Shards == e.Shards && p.Assignment == e.Assignment && p.PipelinedSec > 0 {
+			if p.Shards == e.Shards && p.Assignment == e.Assignment &&
+				p.Selective == e.Selective && p.PipelinedSec > 0 {
 				return p
 			}
 		case "replica":

@@ -78,23 +78,50 @@
 // per-query balance) or whole-cluster-wise by balanced k-means bin packing
 // (each inverted list wholly on one shard, which skips non-owned probes).
 // Each shard runs in a compact local ID space with a monotone local→global
-// remap table, so Cluster.SearchBatch — which fans the query batch to every
-// shard in parallel and merges the per-shard partial top-k — returns IDs
-// and Items bit-identical to a single-engine SearchBatch over the unsharded
-// corpus (the equivalence suite in internal/cluster pins this for S ∈
-// {1, 2, 7}). Merged Metrics are the cross-shard parallel view: counters
-// sum, wall-like durations are max-over-shards (the fleet is as slow as its
-// slowest rank), QPS is recomputed from the merged totals.
+// remap table, so Cluster.SearchBatch — which scatters the query batch and
+// merges the per-shard partial top-k — returns IDs and Items bit-identical
+// to a single-engine SearchBatch over the unsharded corpus (the equivalence
+// suite in internal/cluster pins this for S ∈ {1, 2, 7}, both policies,
+// TreeCL on and off). Merged Metrics are the cross-shard parallel view:
+// counters sum, wall-like durations are max-over-shards (the fleet is as
+// slow as its slowest rank), QPS is recomputed from the merged totals.
+//
+// How the scatter routes depends on the assignment policy. Under AssignHash
+// every shard holds a slice of every inverted list, so a query must
+// broadcast to all S shards and each shard runs its own coarse locate (CL)
+// — S copies of the same directory scan, the replicated-CL bottleneck.
+// AssignKMeans keeps each inverted list whole on one shard, which enables
+// the selective-scatter front door: the cluster runs CL exactly once at the
+// front (through a Locator shared with shard 0's engine), partitions the
+// probe list by a cluster→shard owner map built at deployment, and contacts
+// only the shards owning at least one probed cluster; each contacted shard
+// skips its CL stage (Engine.SearchBatchProbed) and scans exactly the
+// probes routed to it. Results stay bit-identical to broadcast — an
+// unowned probe scans nothing anyway — but the CL work drops from S scans
+// to one and the per-query fan-out drops below S, which is what turns
+// sharding from a latency play into a throughput play. Metrics attribution
+// follows the hardware: per-shard metrics carry no CL cost, the merged
+// batch metrics charge the front-door CL once into HostSeconds (and into
+// SimSeconds only if CL outlasts the slowest shard, mirroring the engine's
+// own host/PIM overlap accounting). ClusterStats reports the routing view —
+// per-query fan-out mean/max/histogram and front-door CL cost — plus
+// replica-aware memory accounting: replicas of a shard share read-only
+// state (index, codebooks, layout, locator), so a shard costs
+// SharedBytes + R×PerReplicaBytes, not R× everything.
 //
 // For online traffic, NewClusterServer puts one micro-batching Server in
 // front of every shard engine and exposes a single Search front door: the
-// query is validated and copied once, scattered to every shard server
+// query is validated and copied once, routed (front-door CL under
+// AssignKMeans, broadcast under AssignHash) to the owning shard servers
 // concurrently, and the per-shard responses are merged into the global
-// top-k. Per-shard batching policy, backpressure, cancellation and draining
-// Close behave exactly as for a single Server; `drim-bench -shards N` runs
-// the offline scatter-gather path and records mode:"cluster" entries in
-// BENCH_core.json. The scatter fast-fails: the first shard to fail cancels
-// its siblings' in-flight work through a per-query derived context.
+// top-k; ClusterResponse.ShardsContacted reports the query's fan-out.
+// Per-shard batching policy, backpressure, cancellation and draining Close
+// behave exactly as for a single Server; `drim-bench -shards N` runs the
+// offline scatter-gather path and records mode:"cluster" entries in
+// BENCH_core.json (selective entries carry mean/max fan-out and the
+// front-door CL share of wall time, and never compare against broadcast
+// entries). The scatter fast-fails: the first shard to fail cancels its
+// siblings' in-flight work through a per-query derived context.
 //
 // Replication masks the tail. ClusterOptions.Replicas > 1 clones each
 // shard's engine R ways — replicas are deterministic copies, so any
@@ -207,6 +234,16 @@ type EngineOptions = core.Options
 // Result carries search results plus simulation metrics.
 type Result = core.Result
 
+// Locator is the coarse-locate stage as a standalone component: the
+// centroid directory (flat or TreeCL) with its cost model. Engine.Locator
+// exposes an engine's locator so a front door can resolve probe lists once
+// and feed them to Engine.SearchBatchProbed, skipping per-engine CL.
+type Locator = core.Locator
+
+// ProbeSet is a packed per-query probe-list batch (CSR layout) as produced
+// by Locator.Probes and consumed by Engine.SearchBatchProbed.
+type ProbeSet = core.ProbeSet
+
 // Metrics reports the simulated cost of a search.
 type Metrics = core.Metrics
 
@@ -314,9 +351,24 @@ type ClusterServer = cluster.Server
 
 // ClusterServerStats snapshots a ClusterServer's front-door ledger, the
 // replication machinery's counters (hedges, hedge wins, failovers, breaker
-// ejections), and the per-shard, per-replica serving stats with their
-// aggregate.
+// ejections), the selective-scatter routing view, and the per-shard,
+// per-replica serving stats with their aggregate.
 type ClusterServerStats = cluster.ServerStats
+
+// ClusterStats snapshots a Cluster's deployment view: per-shard
+// replica-aware memory accounting plus the selective-scatter routing stats
+// (all zeros under AssignHash, which broadcasts).
+type ClusterStats = cluster.Stats
+
+// ClusterRouteStats is the selective-scatter routing accumulator: per-query
+// fan-out mean/max/histogram and the front-door coarse-locate cost. The
+// offline Cluster.SearchBatch and the online ClusterServer drive the same
+// front door and share this accumulator.
+type ClusterRouteStats = cluster.RouteStats
+
+// ClusterShardMemStats is one shard's replica-aware memory accounting:
+// bytes shared by all its replicas plus each replica's private bytes.
+type ClusterShardMemStats = cluster.ShardMemStats
 
 // ClusterShardStats groups one shard's per-replica serving ledgers.
 type ClusterShardStats = cluster.ShardStats

@@ -18,10 +18,14 @@
 //     across shards, at the cost of every shard touching every probed
 //     cluster.
 //   - AssignKMeans assigns whole coarse (k-means) clusters to shards with
-//     a greedy balanced bin-packing over cluster sizes, so each inverted
-//     list lives wholly on one shard. Shards skip probed clusters they do
-//     not own (their lists are empty locally), which is the cross-rank
-//     partition UpANNS-style systems use to cut fan-out traffic.
+//     a balanced k-means over the centroid vectors themselves (capacity-
+//     capped, size-weighted), so each inverted list lives wholly on one
+//     shard and spatially neighboring lists share a shard. That enables
+//     selective scatter: the front door locates once, routes each query
+//     only to the shards owning its probed clusters, and — because a
+//     query's probes are spatial neighbors — the mean fan-out stays well
+//     below S, the cross-rank partition UpANNS-style systems use to cut
+//     fan-out traffic.
 //
 // Each shard's engine runs in a compact local ID space (0..n_s-1): its
 // sub-index lists the shard's points under local IDs, and the layer keeps a
@@ -46,11 +50,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
 	"drimann/internal/topk"
+	"drimann/internal/vecmath"
 )
 
 // Assignment selects the shard-partitioning policy.
@@ -59,8 +65,9 @@ type Assignment string
 const (
 	// AssignHash spreads points across shards by a deterministic ID hash.
 	AssignHash Assignment = "hash"
-	// AssignKMeans assigns whole coarse clusters to shards, balanced by
-	// cluster size (greedy largest-first bin packing).
+	// AssignKMeans assigns whole coarse clusters to shards by a balanced
+	// k-means over the centroid vectors (spatial grouping under a capacity
+	// cap), enabling the selective-scatter front door.
 	AssignKMeans Assignment = "kmeans"
 )
 
@@ -131,6 +138,130 @@ type Cluster struct {
 	shards []*Shard
 	opt    Options
 	ix     *ivf.Index // the shared (unsharded) index; quantizer source
+
+	// loc is the front-door CL stage (borrowed from shard 0's engine — all
+	// shard engines share the full centroid directory and the same options,
+	// so their locators produce identical probes). owners[c] lists the
+	// shards whose sub-index holds a non-empty inverted list for cluster c:
+	// exactly one shard under AssignKMeans, potentially all under
+	// AssignHash. Together they drive selective scatter.
+	loc    *core.Locator
+	owners [][]int32
+
+	routeMu sync.Mutex
+	route   RouteStats
+}
+
+// RouteStats aggregates the selective-scatter routing behavior of every
+// front-door batch (offline SearchBatch and the routed Server alike record
+// here): how many shards each query actually touched, and what the
+// front-door CL phase cost.
+type RouteStats struct {
+	// RoutedQueries counts queries routed through the selective front door.
+	RoutedQueries int
+	// Batches counts front-door CL invocations.
+	Batches int
+	// FanoutSum totals shards contacted over all routed queries;
+	// FanoutSum/RoutedQueries is the mean scatter fan-out. MaxFanout is the
+	// worst query's fan-out, and FanoutHist[f] counts queries that touched
+	// exactly f shards (length S+1).
+	FanoutSum  int64
+	MaxFanout  int
+	FanoutHist []int
+	// FrontCLWallSeconds is real time spent in front-door CL;
+	// FrontCLSimSeconds is its modeled (simulated) host cost.
+	FrontCLWallSeconds float64
+	FrontCLSimSeconds  float64
+}
+
+// MeanFanout returns the average shards contacted per routed query (0 when
+// nothing was routed).
+func (r *RouteStats) MeanFanout() float64 {
+	if r.RoutedQueries == 0 {
+		return 0
+	}
+	return float64(r.FanoutSum) / float64(r.RoutedQueries)
+}
+
+// ShardMemStats is one shard's memory accounting: the read-only deployment
+// bytes shared by all its replicas plus each replica's private bytes.
+type ShardMemStats struct {
+	Points          int
+	Replicas        int
+	SharedBytes     int64
+	PerReplicaBytes int64
+	// TotalBytes = SharedBytes + Replicas*PerReplicaBytes — what the shard
+	// actually costs, versus Replicas*(Shared+PerReplica) for the naive
+	// clone-everything replication this accounting replaced.
+	TotalBytes int64
+}
+
+// Stats is the cluster-level observability snapshot: per-shard memory and
+// the routing behavior of the selective-scatter front door.
+type Stats struct {
+	// Selective reports whether the fleet routes queries only to owning
+	// shards (AssignKMeans) or broadcasts (AssignHash fallback).
+	Selective bool
+	Shards    []ShardMemStats
+	Route     RouteStats
+}
+
+// Stats snapshots the cluster's memory and routing statistics.
+func (cl *Cluster) Stats() Stats {
+	st := Stats{Selective: cl.Selective(), Shards: make([]ShardMemStats, len(cl.shards))}
+	for s, sh := range cl.shards {
+		mf := sh.Engine.MemoryFootprint()
+		r := len(sh.Engines)
+		st.Shards[s] = ShardMemStats{
+			Points:          sh.Points,
+			Replicas:        r,
+			SharedBytes:     mf.SharedBytes,
+			PerReplicaBytes: mf.PerReplicaBytes,
+			TotalBytes:      mf.SharedBytes + int64(r)*mf.PerReplicaBytes,
+		}
+	}
+	cl.routeMu.Lock()
+	st.Route = cl.route
+	st.Route.FanoutHist = append([]int(nil), cl.route.FanoutHist...)
+	cl.routeMu.Unlock()
+	return st
+}
+
+// Selective reports whether the fleet uses the selective-scatter path:
+// under AssignKMeans whole clusters live on one shard, so a query only
+// needs the shards owning its probed clusters. AssignHash spreads every
+// list across all shards, so it keeps the broadcast path.
+func (cl *Cluster) Selective() bool { return cl.opt.Assignment == AssignKMeans }
+
+// Locator exposes the front-door CL stage (shared with shard 0's engine;
+// stateless per call, safe for concurrent use).
+func (cl *Cluster) Locator() *core.Locator { return cl.loc }
+
+// OwnerShards returns the shards owning cluster c's inverted list (view,
+// not a copy; empty for an empty cluster).
+func (cl *Cluster) OwnerShards(c int32) []int32 { return cl.owners[c] }
+
+// recordRoute folds one front-door batch into the cluster's RouteStats.
+// fanouts[i] is query i's shards-contacted count; wall is the real time the
+// front-door CL took, sim its modeled host cost.
+func (cl *Cluster) recordRoute(fanouts []int, wall, sim float64) {
+	cl.routeMu.Lock()
+	defer cl.routeMu.Unlock()
+	r := &cl.route
+	if r.FanoutHist == nil {
+		r.FanoutHist = make([]int, len(cl.shards)+1)
+	}
+	r.Batches++
+	r.RoutedQueries += len(fanouts)
+	for _, f := range fanouts {
+		r.FanoutSum += int64(f)
+		if f > r.MaxFanout {
+			r.MaxFanout = f
+		}
+		r.FanoutHist[f]++
+	}
+	r.FrontCLWallSeconds += wall
+	r.FrontCLSimSeconds += sim
 }
 
 // splitmix64 is the deterministic point-ID hash of AssignHash.
@@ -142,8 +273,9 @@ func splitmix64(x uint64) uint64 {
 }
 
 // shardOfPoints computes each corpus point's shard under the configured
-// assignment. nPoints is the corpus size (max list ID + 1).
-func shardOfPoints(ix *ivf.Index, nPoints int, opt Options) []int32 {
+// assignment. nPoints is the corpus size (max list ID + 1); profile is the
+// optional workload that weights the kmeans balance (see clusterHeat).
+func shardOfPoints(ix *ivf.Index, nPoints int, profile dataset.U8Set, opt Options) []int32 {
 	owner := make([]int32, nPoints)
 	if opt.Assignment == AssignHash {
 		for i := range owner {
@@ -151,32 +283,8 @@ func shardOfPoints(ix *ivf.Index, nPoints int, opt Options) []int32 {
 		}
 		return owner
 	}
-	// Balanced k-means assignment: whole coarse clusters to shards, largest
-	// cluster first onto the currently lightest shard (LPT bin packing).
-	type cl struct{ id, size int }
-	clusters := make([]cl, ix.NList)
-	for c := range clusters {
-		clusters[c] = cl{id: c, size: ix.ListLen(c)}
-	}
-	// Deterministic largest-first order (ties by cluster id).
-	sort.Slice(clusters, func(i, j int) bool {
-		if clusters[i].size != clusters[j].size {
-			return clusters[i].size > clusters[j].size
-		}
-		return clusters[i].id < clusters[j].id
-	})
-	load := make([]int, opt.Shards)
-	shardOfCluster := make([]int32, ix.NList)
-	for _, c := range clusters {
-		best := 0
-		for s := 1; s < opt.Shards; s++ {
-			if load[s] < load[best] {
-				best = s
-			}
-		}
-		shardOfCluster[c.id] = int32(best)
-		load[best] += c.size
-	}
+	heat := clusterHeat(ix, profile, opt.Engine.NProbe)
+	shardOfCluster := assignClustersKMeans(ix, opt.Shards, heat)
 	for c, list := range ix.Lists {
 		for _, id := range list {
 			owner[id] = shardOfCluster[c]
@@ -185,8 +293,169 @@ func shardOfPoints(ix *ivf.Index, nPoints int, opt Options) []int32 {
 	return owner
 }
 
+// clusterHeat estimates each coarse cluster's expected query-time work —
+// the weight the kmeans assignment balances across shards. With a profile
+// workload it is list size × (1 + profile probe count): the points a shard
+// actually scans are its owned clusters' points times how often queries
+// probe them, so balancing raw list sizes alone leaves the shard owning the
+// workload's hot region as the fleet's critical path (whole-corpus memory
+// stays balanced under hash; under kmeans the memory split follows the heat
+// split, the same trade the paper's intra-engine layout optimizer makes
+// with the same profile). Without a profile every cluster weighs its list
+// size — memory balance, the best available proxy.
+func clusterHeat(ix *ivf.Index, profile dataset.U8Set, nprobe int) []float64 {
+	probed := make([]float64, ix.NList)
+	if profile.N > 0 {
+		if nprobe <= 0 {
+			nprobe = core.DefaultOptions().NProbe
+		}
+		if nprobe > ix.NList {
+			nprobe = ix.NList
+		}
+		out := make([]topk.Item[uint32], profile.N*nprobe)
+		counts := make([]int, profile.N)
+		ix.LocateBatch(profile, 0, profile.N, nprobe, 0, out, counts)
+		for qi := 0; qi < profile.N; qi++ {
+			for _, it := range out[qi*nprobe : qi*nprobe+counts[qi]] {
+				probed[it.ID]++
+			}
+		}
+	}
+	heat := make([]float64, ix.NList)
+	for c := range heat {
+		heat[c] = float64(ix.ListLen(c)) * (1 + probed[c])
+	}
+	return heat
+}
+
+// assignClustersKMeans maps whole coarse clusters to shards by a balanced
+// k-means over the centroid vectors themselves: S meta-centroids are seeded
+// by farthest-point and refined by capacity-constrained Lloyd iterations
+// weighted by heat. Spatial grouping is what makes selective scatter pay
+// off — a query's NProbe nearest clusters are spatial neighbors, so when
+// neighboring clusters share a shard the probe list concentrates on few
+// shards and the mean scatter fan-out drops well below S — while the
+// capacity cap (~6% slack over perfect) keeps the heat split balanced
+// enough that the fleet's max-over-shards latency doesn't pay for the
+// locality. Deterministic: seeding, iteration order and tie-breaks are all
+// fixed by the index and profile.
+func assignClustersKMeans(ix *ivf.Index, shards int, heat []float64) []int32 {
+	shardOfCluster := make([]int32, ix.NList)
+	if shards <= 1 {
+		return shardOfCluster
+	}
+	type cl struct {
+		id     int
+		weight float64
+	}
+	clusters := make([]cl, ix.NList)
+	total := 0.0
+	for c := range clusters {
+		clusters[c] = cl{id: c, weight: heat[c]}
+		total += heat[c]
+	}
+	// Deterministic heaviest-first order (ties by cluster id): hot clusters
+	// place while capacity is plentiful, so the cap never strands them far
+	// from their spatial home.
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].weight != clusters[j].weight {
+			return clusters[i].weight > clusters[j].weight
+		}
+		return clusters[i].id < clusters[j].id
+	})
+
+	// Farthest-point seeding from the heaviest cluster's centroid.
+	dim := ix.Dim
+	metas := make([][]float32, 0, shards)
+	minD := make([]float32, ix.NList)
+	seed := clusters[0].id
+	metas = append(metas, append([]float32(nil), ix.Centroid(seed)...))
+	for c := 0; c < ix.NList; c++ {
+		minD[c] = vecmath.L2SquaredF32(ix.Centroid(c), metas[0])
+	}
+	for len(metas) < shards {
+		far := 0
+		for c := 1; c < ix.NList; c++ {
+			if minD[c] > minD[far] {
+				far = c
+			}
+		}
+		metas = append(metas, append([]float32(nil), ix.Centroid(far)...))
+		for c := 0; c < ix.NList; c++ {
+			if d := vecmath.L2SquaredF32(ix.Centroid(c), metas[len(metas)-1]); d < minD[c] {
+				minD[c] = d
+			}
+		}
+	}
+
+	capLimit := total/float64(shards)*(1+1.0/16) + 1
+	load := make([]float64, shards)
+	const iters = 8
+	for it := 0; it < iters; it++ {
+		// Capacity-constrained assignment: each cluster goes to the nearest
+		// meta-centroid with room; with every shard at cap, the lightest
+		// takes it (the balance backstop).
+		for s := range load {
+			load[s] = 0
+		}
+		for _, c := range clusters {
+			best, bestD := -1, float32(0)
+			light := 0
+			for s := 0; s < shards; s++ {
+				if load[s] < load[light] {
+					light = s
+				}
+				if load[s]+c.weight > capLimit {
+					continue
+				}
+				d := vecmath.L2SquaredF32(ix.Centroid(c.id), metas[s])
+				if best < 0 || d < bestD {
+					best, bestD = s, d
+				}
+			}
+			if best < 0 {
+				best = light
+			}
+			shardOfCluster[c.id] = int32(best)
+			load[best] += c.weight
+		}
+		if it == iters-1 {
+			break
+		}
+		// Lloyd step: each meta-centroid moves to the heat-weighted mean of
+		// its clusters' centroids (empty shards keep their seed).
+		sums := make([][]float64, shards)
+		weight := make([]float64, shards)
+		for s := range sums {
+			sums[s] = make([]float64, dim)
+		}
+		for _, c := range clusters {
+			if c.weight == 0 {
+				continue
+			}
+			s := shardOfCluster[c.id]
+			cen := ix.Centroid(c.id)
+			for j := 0; j < dim; j++ {
+				sums[s][j] += c.weight * float64(cen[j])
+			}
+			weight[s] += c.weight
+		}
+		for s := 0; s < shards; s++ {
+			if weight[s] == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				metas[s][j] = float32(sums[s][j] / weight[s])
+			}
+		}
+	}
+	return shardOfCluster
+}
+
 // New partitions ix across opt.Shards engines. The profile workload (may be
-// empty) drives each shard's layout heat profiling, exactly as in core.New.
+// empty) drives each shard's layout heat profiling, exactly as in core.New,
+// and under AssignKMeans also weights the shard assignment itself (see
+// clusterHeat): shards balance expected query-time work, not just points.
 // The shared quantizer state (centroids, codebooks, SQT) is referenced, not
 // copied; only the inverted lists and codes are split.
 func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
@@ -201,7 +470,7 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 			}
 		}
 	}
-	owner := shardOfPoints(ix, nPoints, opt)
+	owner := shardOfPoints(ix, nPoints, profile, opt)
 
 	// Local ID spaces: enumerate each shard's points in ascending global ID
 	// order, so the local→global table is strictly increasing and the remap
@@ -240,9 +509,19 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 		if err := core.ValidateRemapTable(tables[s]); err != nil {
 			return nil, err
 		}
+		// Replica 0 builds the deployment (layout, decomposition terms,
+		// locator); further replicas share all of that read-only state and
+		// only add private simulated hardware and scratch (core.NewReplica)
+		// instead of cloning the whole deployment R times.
 		engines := make([]*core.Engine, opt.Replicas)
 		for r := range engines {
-			eng, err := core.New(sub, profile, opt.Engine)
+			var eng *core.Engine
+			var err error
+			if r == 0 {
+				eng, err = core.New(sub, profile, opt.Engine)
+			} else {
+				eng, err = core.NewReplica(engines[0])
+			}
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d replica %d engine: %w", s, r, err)
 			}
@@ -253,7 +532,54 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 			GlobalID: tables[s], Points: len(tables[s]),
 		}
 	}
+
+	// Cluster→shard owner map for selective scatter: shard s owns cluster c
+	// iff its sub-index holds a non-empty local list for c.
+	cl.owners = make([][]int32, ix.NList)
+	for s, sh := range cl.shards {
+		sub := sh.Engine.Index()
+		for c := range sub.Lists {
+			if len(sub.Lists[c]) > 0 {
+				cl.owners[c] = append(cl.owners[c], int32(s))
+			}
+		}
+	}
+	cl.loc = cl.shards[0].Engine.Locator()
 	return cl, nil
+}
+
+// partitionProbes splits a front-door probe set into one shard-local probe
+// set per shard (every per-shard set spans the full query list; a query a
+// shard does not serve simply has an empty list there) and returns each
+// query's scatter fan-out. Probe order is preserved per shard, so each
+// shard still sees its clusters in ascending-distance order and schedules
+// exactly as it would after running CL itself.
+func (cl *Cluster) partitionProbes(ps core.ProbeSet, nq int) ([]core.ProbeSet, []int) {
+	S := len(cl.shards)
+	out := make([]core.ProbeSet, S)
+	for s := range out {
+		out[s].Offsets = make([]int32, 1, nq+1)
+	}
+	touched := make([]int, S)
+	for s := range touched {
+		touched[s] = -1
+	}
+	fanouts := make([]int, nq)
+	for qi := 0; qi < nq; qi++ {
+		for _, c := range ps.Of(qi) {
+			for _, s := range cl.owners[c] {
+				out[s].Clusters = append(out[s].Clusters, c)
+				if touched[s] != qi {
+					touched[s] = qi
+					fanouts[qi]++
+				}
+			}
+		}
+		for s := 0; s < S; s++ {
+			out[s].Offsets = append(out[s].Offsets, int32(len(out[s].Clusters)))
+		}
+	}
+	return out, fanouts
 }
 
 // Shards exposes the fleet (for inspection, serving and tests).
@@ -271,24 +597,51 @@ func (cl *Cluster) K() int { return cl.shards[0].Engine.K() }
 // Dim reports the vector dimensionality queries must match.
 func (cl *Cluster) Dim() int { return cl.ix.Dim }
 
-// SearchBatch scatters the query batch to every shard in parallel, gathers
-// the per-shard partial top-k lists, remaps local IDs to global IDs, and
-// merges into the global top-k. Results (IDs and Items) are bit-identical
-// to a single-engine SearchBatch over the unsharded corpus; Metrics is the
-// cross-shard parallel view (core.Metrics.MergeParallel).
+// SearchBatch scatters the query batch across the shards, gathers the
+// per-shard partial top-k lists, remaps local IDs to global IDs, and merges
+// into the global top-k. Under AssignKMeans this is the selective path: the
+// front door runs coarse locate once for the whole batch, partitions the
+// probe lists by the cluster→shard owner map, and contacts only shards with
+// non-empty probe lists (their engines skip CL entirely via
+// SearchBatchProbed); under AssignHash every shard holds a slice of every
+// list, so the batch broadcasts and each shard runs its own CL. Results
+// (IDs and Items) are bit-identical to a single-engine SearchBatch over the
+// unsharded corpus either way; Metrics is the cross-shard parallel view
+// (core.Metrics.MergeParallel), with the selective path charging the
+// front-door CL cost exactly once (overlapped with shard compute, as the
+// engine's own pipeline models it).
 func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
 	if queries.D != cl.ix.Dim {
 		return nil, fmt.Errorf("cluster: query dim %d != index dim %d", queries.D, cl.ix.Dim)
 	}
 	results := make([]*core.Result, len(cl.shards))
 	errs := make([]error, len(cl.shards))
+	var clSim float64
 	var wg sync.WaitGroup
-	for s, sh := range cl.shards {
-		wg.Add(1)
-		go func(s int, sh *Shard) {
-			defer wg.Done()
-			results[s], errs[s] = sh.Engine.SearchBatch(queries)
-		}(s, sh)
+	if cl.Selective() {
+		start := time.Now()
+		ps := cl.loc.Probes(queries)
+		perShard, fanouts := cl.partitionProbes(ps, queries.N)
+		clSim = cl.loc.CLSeconds(queries.N)
+		cl.recordRoute(fanouts, time.Since(start).Seconds(), clSim)
+		for s, sh := range cl.shards {
+			if len(perShard[s].Clusters) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int, sh *Shard, ps core.ProbeSet) {
+				defer wg.Done()
+				results[s], errs[s] = sh.Engine.SearchBatchProbed(queries, ps, false)
+			}(s, sh, perShard[s])
+		}
+	} else {
+		for s, sh := range cl.shards {
+			wg.Add(1)
+			go func(s int, sh *Shard) {
+				defer wg.Done()
+				results[s], errs[s] = sh.Engine.SearchBatch(queries)
+			}(s, sh)
+		}
 	}
 	wg.Wait()
 	for s, err := range errs {
@@ -302,17 +655,37 @@ func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
 		Items: make([][]topk.Item[uint32], queries.N),
 	}
 	k := cl.K()
-	parts := make([][]topk.Item[uint32], len(cl.shards))
+	parts := make([][]topk.Item[uint32], 0, len(cl.shards))
 	for qi := 0; qi < queries.N; qi++ {
+		parts = parts[:0]
 		for s, r := range results {
+			if r == nil {
+				continue // shard not contacted (empty probe lists)
+			}
 			items := r.Items[qi]
 			core.RemapItems(items, cl.shards[s].GlobalID)
-			parts[s] = items
+			parts = append(parts, items)
 		}
 		out.IDs[qi], out.Items[qi] = core.MergeShardTopK(k, parts)
 	}
 	for _, r := range results {
-		out.Metrics.MergeParallel(&r.Metrics)
+		if r != nil {
+			out.Metrics.MergeParallel(&r.Metrics)
+		}
+	}
+	// Front-door CL attribution: charged once for the whole batch, and —
+	// exactly as the engine's SimSeconds = Σ max(host, pim+xfer) pipeline
+	// model treats the CL stage — overlapped with the scattered shard work
+	// rather than added to it.
+	if clSim > 0 {
+		out.Metrics.Queries = queries.N
+		out.Metrics.HostSeconds += clSim
+		if clSim > out.Metrics.SimSeconds {
+			out.Metrics.SimSeconds = clSim
+		}
+		if out.Metrics.SimSeconds > 0 {
+			out.Metrics.QPS = float64(queries.N) / out.Metrics.SimSeconds
+		}
 	}
 	return out, nil
 }

@@ -44,63 +44,92 @@ func engineOpts() core.Options {
 }
 
 // TestClusterEquivalence is the acceptance property of the sharding layer:
-// for S ∈ {1, 2, 7} shards under both assignment policies, the merged
-// scatter-gather top-k (IDs and Items) is bit-identical to a single-engine
-// SearchBatch over the unsharded corpus. This holds because every shard
-// shares the full quantizer state (so it locates the same probe set and
-// computes the same integer distances), the shards partition the scanned
-// points, the local→global ID tables are monotone (order-preserving), and
-// the global top-k of a partitioned multiset is the merge of the per-part
-// top-k lists.
+// for S ∈ {1, 2, 7} shards under both assignment policies, with the flat CL
+// scan and the TreeCL descent, the merged scatter-gather top-k (IDs and
+// Items) is bit-identical to a single-engine SearchBatch over the unsharded
+// corpus. This holds because every shard shares the full quantizer state
+// (so the front door — or each shard under broadcast — locates the same
+// probe set and computes the same integer distances), the shards partition
+// the scanned points, the local→global ID tables are monotone
+// (order-preserving), and the global top-k of a partitioned multiset is the
+// merge of the per-part top-k lists. Under kmeans this exercises the
+// selective-scatter path (front-door CL + SearchBatchProbed per shard);
+// under hash, the broadcast fallback.
 func TestClusterEquivalence(t *testing.T) {
 	ix, s := testFixture(t, 6000, 64)
-	single, err := core.New(ix, s.Queries, engineOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref, err := single.SearchBatch(s.Queries)
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, branch := range []int{0, 8} {
+		opts := engineOpts()
+		opts.TreeCLBranch = branch
+		single, err := core.New(ix, s.Queries, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := single.SearchBatch(s.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	for _, shards := range []int{1, 2, 7} {
-		for _, assign := range []cluster.Assignment{cluster.AssignHash, cluster.AssignKMeans} {
-			t.Run(fmt.Sprintf("S=%d/%s", shards, assign), func(t *testing.T) {
-				cl, err := cluster.New(ix, s.Queries, cluster.Options{
-					Shards: shards, Assignment: assign, Engine: engineOpts(),
+		for _, shards := range []int{1, 2, 7} {
+			for _, assign := range []cluster.Assignment{cluster.AssignHash, cluster.AssignKMeans} {
+				t.Run(fmt.Sprintf("S=%d/%s/treecl=%d", shards, assign, branch), func(t *testing.T) {
+					cl, err := cluster.New(ix, s.Queries, cluster.Options{
+						Shards: shards, Assignment: assign, Engine: opts,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := cl.SearchBatch(s.Queries)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi := 0; qi < s.Queries.N; qi++ {
+						if !reflect.DeepEqual(got.IDs[qi], ref.IDs[qi]) {
+							t.Fatalf("query %d IDs diverge:\n  cluster %v\n  single  %v",
+								qi, got.IDs[qi], ref.IDs[qi])
+						}
+						if !reflect.DeepEqual(got.Items[qi], ref.Items[qi]) {
+							t.Fatalf("query %d Items diverge:\n  cluster %v\n  single  %v",
+								qi, got.Items[qi], ref.Items[qi])
+						}
+					}
+					// Cross-shard metrics view: the fleet scanned exactly the
+					// single engine's points (the shards partition the corpus),
+					// and the merged wall-clock is the slowest shard, never the
+					// sum.
+					if got.Metrics.PointsScanned != ref.Metrics.PointsScanned {
+						t.Fatalf("points scanned %d != single %d",
+							got.Metrics.PointsScanned, ref.Metrics.PointsScanned)
+					}
+					if got.Metrics.Queries != s.Queries.N {
+						t.Fatalf("merged Queries = %d, want %d", got.Metrics.Queries, s.Queries.N)
+					}
+					if got.Metrics.SimSeconds <= 0 {
+						t.Fatal("merged SimSeconds not positive")
+					}
+					// Routing stats: the selective path records every query
+					// with fan-out in [1, S]; broadcast records nothing.
+					st := cl.Stats()
+					if assign == cluster.AssignKMeans {
+						if !st.Selective {
+							t.Fatal("kmeans fleet should report Selective")
+						}
+						if st.Route.RoutedQueries != s.Queries.N {
+							t.Fatalf("routed %d queries, want %d", st.Route.RoutedQueries, s.Queries.N)
+						}
+						if mf := st.Route.MeanFanout(); mf <= 0 || mf > float64(shards) {
+							t.Fatalf("mean fan-out %v outside (0, %d]", mf, shards)
+						}
+						if st.Route.MaxFanout > shards {
+							t.Fatalf("max fan-out %d > %d shards", st.Route.MaxFanout, shards)
+						}
+						if st.Route.FrontCLSimSeconds <= 0 {
+							t.Fatal("front-door CL sim cost not recorded")
+						}
+					} else if st.Route.RoutedQueries != 0 {
+						t.Fatalf("broadcast fleet recorded %d routed queries", st.Route.RoutedQueries)
+					}
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				got, err := cl.SearchBatch(s.Queries)
-				if err != nil {
-					t.Fatal(err)
-				}
-				for qi := 0; qi < s.Queries.N; qi++ {
-					if !reflect.DeepEqual(got.IDs[qi], ref.IDs[qi]) {
-						t.Fatalf("query %d IDs diverge:\n  cluster %v\n  single  %v",
-							qi, got.IDs[qi], ref.IDs[qi])
-					}
-					if !reflect.DeepEqual(got.Items[qi], ref.Items[qi]) {
-						t.Fatalf("query %d Items diverge:\n  cluster %v\n  single  %v",
-							qi, got.Items[qi], ref.Items[qi])
-					}
-				}
-				// Cross-shard metrics view: the fleet scanned exactly the
-				// single engine's points (the shards partition the corpus),
-				// and the merged wall-clock is the slowest shard, never the
-				// sum.
-				if got.Metrics.PointsScanned != ref.Metrics.PointsScanned {
-					t.Fatalf("points scanned %d != single %d",
-						got.Metrics.PointsScanned, ref.Metrics.PointsScanned)
-				}
-				if got.Metrics.Queries != s.Queries.N {
-					t.Fatalf("merged Queries = %d, want %d", got.Metrics.Queries, s.Queries.N)
-				}
-				if got.Metrics.SimSeconds <= 0 {
-					t.Fatal("merged SimSeconds not positive")
-				}
-			})
+			}
 		}
 	}
 }

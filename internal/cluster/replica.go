@@ -22,6 +22,11 @@ import (
 // lives, Load is the instantaneous queued+in-launch gauge routing compares.
 type Replica interface {
 	SearchOwned(ctx context.Context, q []uint8, k int) (serve.Response, error)
+	// SearchProbedOwned is the selective-scatter entry point: the front door
+	// already resolved this query's probe list (shard-local cluster IDs,
+	// ascending distance order), so the replica's engine skips its CL stage.
+	// probes is frozen under the same contract as q.
+	SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (serve.Response, error)
 	Load() int
 	Stats() serve.Stats
 	Close() error

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"drimann/internal/core"
+	"drimann/internal/dataset"
 	"drimann/internal/serve"
 	"drimann/internal/topk"
 )
@@ -108,9 +109,16 @@ type ServerStats struct {
 	Failovers        uint64
 	BreakerEjections uint64
 
-	// Shards holds each shard's per-replica ledgers. Every front-door query
-	// appears once in exactly one replica of every shard — plus once more
-	// per hedge or failover attempt it needed.
+	// Route is the cluster's selective-scatter routing view (fan-out
+	// distribution, front-door CL cost) — shared with the offline
+	// Cluster.SearchBatch accumulator, since both drive the same front door.
+	// All zeros under AssignHash (broadcast keeps no routing stats).
+	Route RouteStats
+
+	// Shards holds each shard's per-replica ledgers. Under selective
+	// scatter a front-door query appears once in exactly one replica of
+	// every shard it was routed to (plus hedges/failovers); under broadcast,
+	// of every shard.
 	Shards []ShardStats
 	// Agg sums every replica's ledger — except Agg.Sim, which is the
 	// cross-replica parallel metrics view (core.Metrics.MergeParallel):
@@ -134,6 +142,11 @@ type Response struct {
 	// Hedged reports whether any shard of this query issued a hedge
 	// attempt.
 	Hedged bool
+	// ShardsContacted is this query's scatter fan-out: how many shards the
+	// front door actually sent it to. Under AssignKMeans routing this is
+	// the number of shards owning its probed clusters (usually < S); under
+	// AssignHash broadcast it is always S.
+	ShardsContacted int
 }
 
 // Server is the sharded, replicated online serving layer. Construct with
@@ -308,11 +321,14 @@ type attemptResult struct {
 }
 
 // searchShard answers one query on one shard: route to a replica, hedge if
-// it stalls, fail over if it errors, and return the first reply. Loser
-// attempts are canceled through the attempt context when the function
-// returns. An error return means the caller's context died, the fleet
-// closed, or every usable replica failed.
-func (s *Server) searchShard(qctx context.Context, g []*replicaHandle, q []uint8, k int) (serve.Response, bool, error) {
+// it stalls, fail over if it errors, and return the first reply. With a
+// non-nil probes list the attempt goes through the replica's
+// SearchProbedOwned (selective scatter: the front door already ran CL);
+// nil probes means the broadcast path, where the replica's engine locates
+// for itself. Loser attempts are canceled through the attempt context when
+// the function returns. An error return means the caller's context died,
+// the fleet closed, or every usable replica failed.
+func (s *Server) searchShard(qctx context.Context, g []*replicaHandle, q []uint8, k int, probes []int32) (serve.Response, bool, error) {
 	actx, acancel := context.WithCancel(qctx)
 	defer acancel()
 
@@ -324,7 +340,13 @@ func (s *Server) searchShard(qctx context.Context, g []*replicaHandle, q []uint8
 		inflight++
 		go func() {
 			t0 := time.Now()
-			resp, err := g[idx].rep.SearchOwned(actx, q, k)
+			var resp serve.Response
+			var err error
+			if probes != nil {
+				resp, err = g[idx].rep.SearchProbedOwned(actx, q, k, probes)
+			} else {
+				resp, err = g[idx].rep.SearchOwned(actx, q, k)
+			}
 			results <- attemptResult{idx: idx, resp: resp, err: err, dur: time.Since(t0), hedge: hedge}
 		}()
 	}
@@ -415,13 +437,49 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 	// SearchOwned hook against it (immutable until the last reply).
 	owned := append([]uint8(nil), q...)
 
+	t0 := time.Now()
+
+	// Selective scatter (AssignKMeans): run coarse locate once here,
+	// partition the probe list by the cluster→shard owner map, and contact
+	// only the owning shards — each replica then skips its CL stage via
+	// SearchProbedOwned. Under AssignHash perShard stays nil and the query
+	// broadcasts with per-replica CL, as before.
+	var perShard [][]int32
+	contacted := len(s.groups)
+	if s.cl.Selective() {
+		loc := s.cl.Locator()
+		probes := make([]topk.Item[uint32], loc.NProbe())
+		counts := make([]int, 1)
+		loc.LocateBatch(dataset.U8Set{N: 1, D: s.cl.Dim(), Data: owned}, 0, 1, probes, counts)
+		perShard = make([][]int32, len(s.groups))
+		contacted = 0
+		for _, p := range probes[:counts[0]] {
+			for _, sh := range s.cl.OwnerShards(p.ID) {
+				if perShard[sh] == nil {
+					contacted++
+				}
+				perShard[sh] = append(perShard[sh], p.ID)
+			}
+		}
+		s.cl.recordRoute([]int{contacted}, time.Since(t0).Seconds(), loc.CLSeconds(1))
+		if contacted == 0 {
+			// Every probed cluster is empty fleet-wide: the answer is empty,
+			// no shard needs to hear about it.
+			lat := time.Since(t0)
+			s.doneMu.Lock()
+			s.completed++
+			s.latencyNS += int64(lat)
+			s.doneMu.Unlock()
+			return Response{Latency: lat}, nil
+		}
+	}
+
 	// The per-query context: canceling it aborts every in-flight replica
 	// attempt of every shard, which is how the first failing shard stops
 	// its siblings from finishing work nobody will merge.
 	qctx, qcancel := context.WithCancel(ctx)
 	defer qcancel()
 
-	t0 := time.Now()
 	type shardResult struct {
 		shard  int
 		resp   serve.Response
@@ -430,18 +488,27 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 	}
 	results := make(chan shardResult, len(s.groups))
 	for si, g := range s.groups {
-		go func(si int, g []*replicaHandle) {
-			resp, hedged, err := s.searchShard(qctx, g, owned, k)
+		if perShard != nil && perShard[si] == nil {
+			continue // selective: no probed cluster lives on this shard
+		}
+		var probes []int32
+		if perShard != nil {
+			probes = perShard[si]
+		}
+		go func(si int, g []*replicaHandle, probes []int32) {
+			resp, hedged, err := s.searchShard(qctx, g, owned, k, probes)
 			results <- shardResult{shard: si, resp: resp, hedged: hedged, err: err}
-		}(si, g)
+		}(si, g, probes)
 	}
 
 	resps := make([]serve.Response, len(s.groups))
+	answered := make([]bool, len(s.groups))
 	hedgedAny := false
-	for range s.groups {
+	for i := 0; i < contacted; i++ {
 		r := <-results
 		if r.err == nil {
 			resps[r.shard] = r.resp
+			answered[r.shard] = true
 			hedgedAny = hedgedAny || r.hedged
 			continue
 		}
@@ -464,11 +531,14 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		}
 	}
 
-	parts := make([][]topk.Item[uint32], len(resps))
+	parts := make([][]topk.Item[uint32], 0, contacted)
 	maxBatch := 0
 	for i := range resps {
+		if !answered[i] {
+			continue
+		}
 		core.RemapItems(resps[i].Items, s.cl.shards[i].GlobalID)
-		parts[i] = resps[i].Items
+		parts = append(parts, resps[i].Items)
 		if resps[i].BatchSize > maxBatch {
 			maxBatch = resps[i].BatchSize
 		}
@@ -479,7 +549,10 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 	s.completed++
 	s.latencyNS += int64(lat)
 	s.doneMu.Unlock()
-	return Response{IDs: ids, Items: items, Latency: lat, MaxShardBatch: maxBatch, Hedged: hedgedAny}, nil
+	return Response{
+		IDs: ids, Items: items, Latency: lat,
+		MaxShardBatch: maxBatch, Hedged: hedgedAny, ShardsContacted: contacted,
+	}, nil
 }
 
 // Close seals every replica server (concurrently) and waits for each to
@@ -516,6 +589,7 @@ func (s *Server) Stats() ServerStats {
 		BreakerEjections: s.ejections.Load(),
 		Shards:           make([]ShardStats, len(s.groups)),
 	}
+	st.Route = s.cl.Stats().Route
 	s.doneMu.Lock()
 	st.Completed = s.completed
 	if s.completed > 0 {

@@ -248,7 +248,9 @@ type Engine struct {
 	lutBytes   int
 	metaPerDPU []int // slice-copy count per DPU (metadata footprint)
 
-	tree *ivf.TreeCL // non-nil when TreeCLBranch > 0
+	// loc is the CL stage (flat scan or TreeCL descent); shared read-only
+	// with replica engines and borrowable by sharded front doors.
+	loc *Locator
 	// sqt16 holds one tiered table per DPU (kernels run concurrently and
 	// the tables track per-DPU hit statistics); nil without Options.SQT16.
 	sqt16 []*sqt.SQT16
@@ -493,25 +495,16 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 	}
 
 	e := &Engine{ix: ix, sys: sys, opts: opts, codeBytes: codeBytesFor(ix.CB, ix.M)}
-	if opts.TreeCLBranch > 0 {
-		tree, err := ix.BuildTreeCL(opts.TreeCLBranch, 1)
-		if err != nil {
-			return nil, fmt.Errorf("core: tree CL: %w", err)
-		}
-		e.tree = tree
+	loc, err := NewLocator(ix, opts)
+	if err != nil {
+		return nil, err
 	}
+	e.loc = loc
 	if opts.SQT16 {
 		if !opts.UseSQT {
 			return nil, fmt.Errorf("core: SQT16 requires UseSQT")
 		}
-		hot := opts.SQT16HotEntries
-		if hot <= 0 {
-			hot = 8192
-		}
-		e.sqt16 = make([]*sqt.SQT16, opts.NumDPUs)
-		for i := range e.sqt16 {
-			e.sqt16[i] = sqt.NewSQT16(hot, sqt.MaxDiff8)
-		}
+		e.sqt16 = newSQT16Tables(opts)
 	}
 
 	// Offline heat profile: probe frequency over the profile workload.
@@ -564,64 +557,14 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 	}
 	e.pl = pl
 
-	// Account MRAM per DPU.
-	e.metaPerDPU = make([]int, opts.NumDPUs)
-	for _, d := range sys.DPUs {
-		if err := d.AllocMRAM(fixed); err != nil {
-			return nil, fmt.Errorf("core: fixed MRAM: %w", err)
-		}
-	}
-	for _, s := range pl.Slices {
-		bytes := s.Count * (e.codeBytes + 4)
-		for _, d := range s.DPUs {
-			if err := sys.DPUs[d].AllocMRAM(bytes); err != nil {
-				return nil, fmt.Errorf("core: slice data: %w", err)
-			}
-			e.metaPerDPU[d]++
-		}
-	}
-
-	// Account WRAM per DPU: staging buffers are always needed; with the
-	// buffer optimization also the SQT, slice metadata, and (if it fits)
-	// the distance LUT.
-	e.lutBytes = ix.M * ix.CB * 4
-	const stagingBytes = 4096
-	const sqtBytes = 511 * 4
-	e.lutInWRAM = false
-	if opts.UseWRAM {
-		e.lutInWRAM = true
-		for i, d := range sys.DPUs {
-			if err := d.AllocWRAM(stagingBytes + sqtBytes + e.metaPerDPU[i]*16); err != nil {
-				return nil, fmt.Errorf("core: WRAM: %w", err)
-			}
-			if d.WRAMFree() < e.lutBytes {
-				e.lutInWRAM = false
-			}
-		}
-		if e.lutInWRAM {
-			for _, d := range sys.DPUs {
-				if err := d.AllocWRAM(e.lutBytes); err != nil {
-					return nil, fmt.Errorf("core: WRAM LUT: %w", err)
-				}
-			}
-		}
-	} else {
-		for _, d := range sys.DPUs {
-			if err := d.AllocWRAM(stagingBytes); err != nil {
-				return nil, fmt.Errorf("core: WRAM staging: %w", err)
-			}
-		}
+	if err := e.accountMemory(); err != nil {
+		return nil, err
 	}
 
 	// Host-side execution state: the decomposed LUT builder with one scratch
 	// per worker, and the per-DPU kernel scratch reused across launches.
 	e.lut = ix.NewLUTBuilder(opts.Workers)
-	if e.lut != nil {
-		e.lutScratch = make([]*ivf.LUTScratch, opts.Workers)
-		for i := range e.lutScratch {
-			e.lutScratch[i] = e.lut.NewScratch()
-		}
-	}
+	e.lutScratch = newLUTScratches(e.lut, opts.Workers)
 	// The LUT-free DC path needs the static per-point decomposition term of
 	// every cluster; build it once here (O(N*M) gathers over the whole
 	// corpus). The per-op reference accountant materializes LUTs instead.
@@ -644,6 +587,96 @@ func codeBytesFor(cb, m int) int {
 		return m
 	}
 	return 2 * m
+}
+
+// newSQT16Tables builds one tiered 16-bit squaring table per DPU — all with
+// identical geometry, the precondition of the SQT16 memoization invariant.
+// Replica engines get their own tables (they carry per-DPU hit statistics).
+func newSQT16Tables(opts Options) []*sqt.SQT16 {
+	hot := opts.SQT16HotEntries
+	if hot <= 0 {
+		hot = 8192
+	}
+	t := make([]*sqt.SQT16, opts.NumDPUs)
+	for i := range t {
+		t[i] = sqt.NewSQT16(hot, sqt.MaxDiff8)
+	}
+	return t
+}
+
+// newLUTScratches allocates one LUT-builder scratch per worker (nil when the
+// builder itself is unavailable).
+func newLUTScratches(lut *ivf.LUTBuilder, workers int) []*ivf.LUTScratch {
+	if lut == nil {
+		return nil
+	}
+	scratches := make([]*ivf.LUTScratch, workers)
+	for i := range scratches {
+		scratches[i] = lut.NewScratch()
+	}
+	return scratches
+}
+
+// accountMemory reserves the engine's per-DPU MRAM (index-wide fixed data
+// plus every placed slice) and WRAM (staging, SQT, metadata, and the LUT
+// when it fits), recording metaPerDPU and lutInWRAM. New and NewReplica both
+// run it — each against its own fresh upmem.System, since the simulated
+// hardware is per replica even where the host-side data is shared.
+func (e *Engine) accountMemory() error {
+	ix, sys, opts := e.ix, e.sys, e.opts
+	codebookBytes := ix.M * ix.CB * (ix.Dim / ix.M) * 2
+	centroidBytes := ix.NList * ix.Dim
+	fixed := codebookBytes + centroidBytes
+
+	// Account MRAM per DPU.
+	e.metaPerDPU = make([]int, opts.NumDPUs)
+	for _, d := range sys.DPUs {
+		if err := d.AllocMRAM(fixed); err != nil {
+			return fmt.Errorf("core: fixed MRAM: %w", err)
+		}
+	}
+	for _, s := range e.pl.Slices {
+		bytes := s.Count * (e.codeBytes + 4)
+		for _, d := range s.DPUs {
+			if err := sys.DPUs[d].AllocMRAM(bytes); err != nil {
+				return fmt.Errorf("core: slice data: %w", err)
+			}
+			e.metaPerDPU[d]++
+		}
+	}
+
+	// Account WRAM per DPU: staging buffers are always needed; with the
+	// buffer optimization also the SQT, slice metadata, and (if it fits)
+	// the distance LUT.
+	e.lutBytes = ix.M * ix.CB * 4
+	const stagingBytes = 4096
+	const sqtBytes = 511 * 4
+	e.lutInWRAM = false
+	if opts.UseWRAM {
+		e.lutInWRAM = true
+		for i, d := range sys.DPUs {
+			if err := d.AllocWRAM(stagingBytes + sqtBytes + e.metaPerDPU[i]*16); err != nil {
+				return fmt.Errorf("core: WRAM: %w", err)
+			}
+			if d.WRAMFree() < e.lutBytes {
+				e.lutInWRAM = false
+			}
+		}
+		if e.lutInWRAM {
+			for _, d := range sys.DPUs {
+				if err := d.AllocWRAM(e.lutBytes); err != nil {
+					return fmt.Errorf("core: WRAM LUT: %w", err)
+				}
+			}
+		}
+	} else {
+		for _, d := range sys.DPUs {
+			if err := d.AllocWRAM(stagingBytes); err != nil {
+				return fmt.Errorf("core: WRAM staging: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // SQT16HitRate reports the aggregate hot-window hit rate of the tiered
@@ -687,31 +720,23 @@ func (e *Engine) taskCostCycles(n int) float64 {
 }
 
 // hostCLSeconds models the host-side cluster locating cost for nq queries
-// (Equations 1-3 with the CPU's #PE, frequency and vector width). With the
-// tree locator, only branch + beam x children centroids are scanned.
+// (Equations 1-3 with the CPU's #PE, frequency and vector width), delegated
+// to the engine's Locator so a front door charging the cost once computes
+// the exact same number.
 func (e *Engine) hostCLSeconds(nq int) float64 {
-	h := e.opts.Host
-	distOps := float64(3*e.ix.Dim - 1)
-	sortOps := float64(log2ceil(e.opts.NProbe) + 1)
-	scanned := float64(e.ix.NList)
-	if e.tree != nil {
-		scanned = float64(e.tree.CentroidsScanned(e.opts.TreeCLBeam))
-	}
-	ops := float64(nq) * scanned * (distOps + sortOps)
-	lanes := float64(h.Threads * h.VectorWidth)
-	return ops / (lanes * h.FreqGHz * 1e9)
+	return e.loc.CLSeconds(nq)
 }
 
 // locateBatch runs the configured CL variant for queries[lo:hi) across the
 // engine's workers, writing probes into the flat out/counts layout of
 // ivf.Index.LocateBatch. This is the pipeline's first stage.
 func (e *Engine) locateBatch(queries dataset.U8Set, lo, hi int, out []topk.Item[uint32], counts []int) {
-	if e.tree != nil {
-		e.tree.LocateBatch(e.ix, queries, lo, hi, e.opts.NProbe, e.opts.TreeCLBeam, e.opts.Workers, out, counts)
-		return
-	}
-	e.ix.LocateBatch(queries, lo, hi, e.opts.NProbe, e.opts.Workers, out, counts)
+	e.loc.LocateBatch(queries, lo, hi, out, counts)
 }
+
+// Locator exposes the engine's CL stage. It is stateless per call, so a
+// sharded front door may run it concurrently with the engine's own batches.
+func (e *Engine) Locator() *Locator { return e.loc }
 
 // hostMergeSeconds models merging per-DPU partial top-k lists on the host.
 func (e *Engine) hostMergeSeconds(items int) float64 {
@@ -745,6 +770,16 @@ type clBatch struct {
 // modeled SimSeconds = Σ max(host, pim+xfer) accounting assumes. Results and
 // metrics are bit-identical between the pipelined and serial paths.
 func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
+	return e.searchBatch(queries, ProbeSet{}, false, true)
+}
+
+// searchBatch is the shared body behind SearchBatch and SearchBatchProbed.
+// With probed set, the CL stage is replaced by expanding the pre-resolved
+// probe lists of ps — in list order, which preserves the ascending-distance
+// request order the scheduler sees on the plain path, so schedules, results
+// and metrics stay bit-identical when ps came from this engine's Locator.
+// chargeCL controls whether each batch's host CL cost enters the metrics.
+func (e *Engine) searchBatch(queries dataset.U8Set, ps ProbeSet, probed, chargeCL bool) (*Result, error) {
 	if queries.D != e.ix.Dim {
 		return nil, fmt.Errorf("core: query dim %d != index dim %d", queries.D, e.ix.Dim)
 	}
@@ -768,12 +803,25 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 	nBatches := (queries.N + e.opts.BatchSize - 1) / e.opts.BatchSize
 
 	// CL stage: probe storage for one batch plus the request-expansion
-	// closure, owned by whichever goroutine runs the stage.
-	probes := make([]topk.Item[uint32], e.opts.BatchSize*e.opts.NProbe)
-	counts := make([]int, e.opts.BatchSize)
+	// closure, owned by whichever goroutine runs the stage. The probed path
+	// needs no probe buffers — it only reads ps.
+	var probes []topk.Item[uint32]
+	var counts []int
+	if !probed {
+		probes = make([]topk.Item[uint32], e.opts.BatchSize*e.opts.NProbe)
+		counts = make([]int, e.opts.BatchSize)
+	}
 	runCL := func(lo, hi int, reqs []sched.Request) []sched.Request {
-		e.locateBatch(queries, lo, hi, probes, counts)
 		reqs = reqs[:0]
+		if probed {
+			for qi := lo; qi < hi; qi++ {
+				for _, c := range ps.Of(qi) {
+					reqs = append(reqs, sched.Request{Query: int32(qi), Cluster: c})
+				}
+			}
+			return reqs
+		}
+		e.locateBatch(queries, lo, hi, probes, counts)
 		for qi := lo; qi < hi; qi++ {
 			base := (qi - lo) * e.opts.NProbe
 			for _, p := range probes[base : base+counts[qi-lo]] {
@@ -828,7 +876,10 @@ func (e *Engine) SearchBatch(queries dataset.U8Set) (*Result, error) {
 			serialReqs = runCL(lo, hi, serialReqs)
 			reqs = serialReqs
 		}
-		hostSec := e.hostCLSeconds(hi - lo)
+		hostSec := 0.0
+		if chargeCL {
+			hostSec = e.hostCLSeconds(hi - lo)
+		}
 
 		lastBatch := hi >= queries.N
 		var pimPlusXfer float64

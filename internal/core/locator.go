@@ -1,0 +1,115 @@
+// Locator is the host-side cluster-locating (CL) stage factored out of the
+// Engine so it can run at a sharded deployment's front door: the cluster
+// layer locates once per batch over the full shared centroid directory,
+// partitions the probe lists per shard, and hands each shard engine a
+// pre-resolved ProbeSet (SearchBatchProbed) instead of letting every shard
+// redundantly rerun CL. The engine itself delegates its own CL stage to an
+// embedded Locator, so both paths scan the same directory with the same
+// variant (flat scan or the TreeCL descent) and produce identical probes.
+
+package core
+
+import (
+	"fmt"
+
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/topk"
+	"drimann/internal/upmem"
+)
+
+// Locator runs the configured CL variant over one index's centroid
+// directory and models its host cost. Construct with NewLocator (or take an
+// engine's via Engine.Locator). LocateBatch is stateless per call, so one
+// Locator is safe for concurrent use by independent batches.
+type Locator struct {
+	ix      *ivf.Index
+	tree    *ivf.TreeCL // non-nil when TreeCLBranch > 0
+	nprobe  int
+	beam    int
+	workers int
+	host    upmem.Platform
+}
+
+// NewLocator builds the CL stage an engine with the same Options would use:
+// the flat centroid scan, or a two-level tree locator when TreeCLBranch > 0
+// (built with the engine's deterministic seed, so probes are identical).
+func NewLocator(ix *ivf.Index, opts Options) (*Locator, error) {
+	opts.defaults()
+	l := &Locator{
+		ix:      ix,
+		nprobe:  opts.NProbe,
+		beam:    opts.TreeCLBeam,
+		workers: opts.Workers,
+		host:    opts.Host,
+	}
+	if opts.TreeCLBranch > 0 {
+		tree, err := ix.BuildTreeCL(opts.TreeCLBranch, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: tree CL: %w", err)
+		}
+		l.tree = tree
+	}
+	return l, nil
+}
+
+// NProbe reports the probes located per query.
+func (l *Locator) NProbe() int { return l.nprobe }
+
+// LocateBatch computes probes for queries[lo:hi) across the locator's
+// workers, writing into the flat out/counts layout of ivf.Index.LocateBatch
+// (out holds (hi-lo)*NProbe slots; counts[i] the probe count of query lo+i,
+// in ascending distance order).
+func (l *Locator) LocateBatch(queries dataset.U8Set, lo, hi int, out []topk.Item[uint32], counts []int) {
+	if l.tree != nil {
+		l.tree.LocateBatch(l.ix, queries, lo, hi, l.nprobe, l.beam, l.workers, out, counts)
+		return
+	}
+	l.ix.LocateBatch(queries, lo, hi, l.nprobe, l.workers, out, counts)
+}
+
+// CLSeconds models the host-side cluster-locating cost for nq queries
+// (Equations 1-3 with the CPU's #PE, frequency and vector width) — exactly
+// the per-batch charge Engine.SearchBatch applies. With the tree locator,
+// only branch + beam x children centroids are scanned. Linear in nq, so a
+// front door charging CLSeconds(N) once matches an engine charging it
+// batch by batch.
+func (l *Locator) CLSeconds(nq int) float64 {
+	distOps := float64(3*l.ix.Dim - 1)
+	sortOps := float64(log2ceil(l.nprobe) + 1)
+	scanned := float64(l.ix.NList)
+	if l.tree != nil {
+		scanned = float64(l.tree.CentroidsScanned(l.beam))
+	}
+	ops := float64(nq) * scanned * (distOps + sortOps)
+	lanes := float64(l.host.Threads * l.host.VectorWidth)
+	return ops / (lanes * l.host.FreqGHz * 1e9)
+}
+
+// Probes locates every query of the set and packs the results into a
+// ProbeSet — the convenience path for callers that front-door a whole batch
+// without per-shard partitioning (tests, single-tenant front doors).
+func (l *Locator) Probes(queries dataset.U8Set) ProbeSet {
+	const chunk = 256
+	out := make([]topk.Item[uint32], chunk*l.nprobe)
+	counts := make([]int, chunk)
+	ps := ProbeSet{
+		Offsets:  make([]int32, 1, queries.N+1),
+		Clusters: make([]int32, 0, queries.N*l.nprobe),
+	}
+	for lo := 0; lo < queries.N; lo += chunk {
+		hi := lo + chunk
+		if hi > queries.N {
+			hi = queries.N
+		}
+		l.LocateBatch(queries, lo, hi, out, counts)
+		for qi := lo; qi < hi; qi++ {
+			base := (qi - lo) * l.nprobe
+			for _, p := range out[base : base+counts[qi-lo]] {
+				ps.Clusters = append(ps.Clusters, p.ID)
+			}
+			ps.Offsets = append(ps.Offsets, int32(len(ps.Clusters)))
+		}
+	}
+	return ps
+}

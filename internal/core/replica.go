@@ -1,0 +1,95 @@
+// Replica engines: R-way replication of one shard deployment without
+// cloning its read-only state. A replica shares the source engine's index,
+// optimized layout, Locator, decomposed LUT builder and per-point
+// decomposition terms — everything the hot path only reads — and gets its
+// own simulated PIM system, SQT16 tables (they carry per-DPU hit
+// statistics) and per-launch scratch, the state a concurrently-running
+// engine mutates. Before this, every replica rebuilt the whole deployment
+// (including the centroid directory and PQ codebooks), multiplying the
+// dominant read-only footprint by R; MemoryFootprint reports the split so
+// the cluster layer can account shared-vs-per-replica bytes honestly.
+
+package core
+
+import "drimann/internal/upmem"
+
+// NewReplica builds an engine that serves the same deployment as src:
+// bit-identical results and metrics, shared read-only state, private
+// mutable state. Safe to call multiple times; replicas and the source may
+// run concurrently (each owns its simulated system and scratch).
+func NewReplica(src *Engine) (*Engine, error) {
+	sys, err := upmem.NewSystem(src.sys.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		ix:        src.ix,
+		sys:       sys,
+		pl:        src.pl,
+		opts:      src.opts,
+		codeBytes: src.codeBytes,
+		loc:       src.loc,
+		lut:       src.lut,
+		algebraic: src.algebraic,
+		bsum:      src.bsum,
+	}
+	if src.sqt16 != nil {
+		e.sqt16 = newSQT16Tables(e.opts)
+	}
+	if err := e.accountMemory(); err != nil {
+		return nil, err
+	}
+	e.lutScratch = newLUTScratches(e.lut, e.opts.Workers)
+	e.scratch = make([]dpuScratch, e.opts.NumDPUs)
+	return e, nil
+}
+
+// MemoryFootprint splits one engine's host-side memory into the read-only
+// bytes NewReplica shares across all replicas of a deployment and the
+// private bytes every additional replica costs.
+type MemoryFootprint struct {
+	// SharedBytes is the read-only deployment state: centroid directory
+	// (float and integer), integer PQ codebooks, inverted lists + codes,
+	// and the static decomposition terms. Allocated once regardless of R.
+	SharedBytes int64
+	// PerReplicaBytes is the private mutable state each replica carries:
+	// the SQT16 hot windows and the steady-state per-DPU launch scratch.
+	PerReplicaBytes int64
+}
+
+// MemoryFootprint reports the engine's shared/per-replica byte split (see
+// MemoryFootprint). Structural sizes only — deterministic, not a heap
+// profile.
+func (e *Engine) MemoryFootprint() MemoryFootprint {
+	ix := e.ix
+	var shared int64
+	shared += int64(len(ix.Centroids)) * 4
+	shared += int64(len(ix.CentroidsU8))
+	shared += int64(ix.M*ix.CB*(ix.Dim/ix.M)) * 2 // integer codebooks (int16)
+	for c := range ix.Lists {
+		shared += int64(len(ix.Lists[c]))*4 + int64(len(ix.Codes[c]))*2
+	}
+	for _, s := range e.bsum {
+		shared += int64(len(s)) * 4
+	}
+
+	var per int64
+	if e.sqt16 != nil {
+		hot := e.opts.SQT16HotEntries
+		if hot <= 0 {
+			hot = 8192
+		}
+		per += int64(e.opts.NumDPUs) * int64(hot) * 4
+	}
+	// Steady-state per-DPU scratch: K-item heaps, the distance buffer for
+	// the largest slice, and group indices for a batch's tasks.
+	maxSlice := 0
+	for _, s := range e.pl.Slices {
+		if s.Count > maxSlice {
+			maxSlice = s.Count
+		}
+	}
+	per += int64(e.opts.NumDPUs) * int64(maxSlice) * 4 // distBuf
+	per += int64(e.opts.NumDPUs) * int64(e.opts.K) * 16
+	return MemoryFootprint{SharedBytes: shared, PerReplicaBytes: per}
+}

@@ -14,7 +14,7 @@ func TestEngineTreeCLMatchesTreeReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.tree == nil {
+	if e.loc.tree == nil {
 		t.Fatal("tree locator not built")
 	}
 	res, err := e.SearchBatch(f.s.Queries)

@@ -37,6 +37,7 @@ var ErrKilled = errors.New("fault: replica killed")
 // satisfies it, as does another *Replica (wrappers nest).
 type Backend interface {
 	SearchOwned(ctx context.Context, q []uint8, k int) (serve.Response, error)
+	SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (serve.Response, error)
 	Load() int
 	Stats() serve.Stats
 	Close() error
@@ -152,25 +153,45 @@ func splitmix64(x uint64) uint64 {
 // The wrapped call keeps the serve.Server contract: it honors ctx, and a
 // q buffer handed in must stay frozen as long as the backend lives.
 func (r *Replica) SearchOwned(ctx context.Context, q []uint8, k int) (serve.Response, error) {
+	if err := r.admit(ctx); err != nil {
+		return serve.Response{}, err
+	}
+	return r.inner.SearchOwned(ctx, q, k)
+}
+
+// SearchProbedOwned applies the same injection schedule as SearchOwned (the
+// two share one call counter — the plan keys on calls, not entry points),
+// then forwards the routed probe list to the backend.
+func (r *Replica) SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (serve.Response, error) {
+	if err := r.admit(ctx); err != nil {
+		return serve.Response{}, err
+	}
+	return r.inner.SearchProbedOwned(ctx, q, k, probes)
+}
+
+// admit runs one call through the injection schedule: it takes the next
+// call number and applies kill, manual error, fail-first/error-every,
+// wedges and delays. A nil return means the call reaches the backend.
+func (r *Replica) admit(ctx context.Context) error {
 	n := r.calls.Add(1)
 	if r.plan.KillAfter > 0 && n > uint64(r.plan.KillAfter) {
 		r.Kill()
 	}
 	if r.Killed() {
-		return serve.Response{}, ErrKilled
+		return ErrKilled
 	}
 	r.mu.Lock()
 	errInj := r.errInj
 	wedgeCh := r.wedgeCh
 	r.mu.Unlock()
 	if errInj != nil {
-		return serve.Response{}, errInj
+		return errInj
 	}
 	if r.plan.FailFirst > 0 && n <= uint64(r.plan.FailFirst) {
-		return serve.Response{}, ErrInjected
+		return ErrInjected
 	}
 	if r.plan.ErrorEvery > 0 && n%uint64(r.plan.ErrorEvery) == 0 {
-		return serve.Response{}, ErrInjected
+		return ErrInjected
 	}
 	if r.plan.WedgeFrom > 0 && n >= uint64(r.plan.WedgeFrom) {
 		// Wedged forever: only the caller's context or a kill gets out.
@@ -178,9 +199,9 @@ func (r *Replica) SearchOwned(ctx context.Context, q []uint8, k int) (serve.Resp
 		defer r.blocked.Add(-1)
 		select {
 		case <-ctx.Done():
-			return serve.Response{}, ctx.Err()
+			return ctx.Err()
 		case <-r.killed:
-			return serve.Response{}, ErrKilled
+			return ErrKilled
 		}
 	}
 	if wedgeCh != nil {
@@ -188,10 +209,10 @@ func (r *Replica) SearchOwned(ctx context.Context, q []uint8, k int) (serve.Resp
 		select {
 		case <-ctx.Done():
 			r.blocked.Add(-1)
-			return serve.Response{}, ctx.Err()
+			return ctx.Err()
 		case <-r.killed:
 			r.blocked.Add(-1)
-			return serve.Response{}, ErrKilled
+			return ErrKilled
 		case <-wedgeCh:
 			r.blocked.Add(-1)
 		}
@@ -207,16 +228,16 @@ func (r *Replica) SearchOwned(ctx context.Context, q []uint8, k int) (serve.Resp
 		case <-ctx.Done():
 			t.Stop()
 			r.blocked.Add(-1)
-			return serve.Response{}, ctx.Err()
+			return ctx.Err()
 		case <-r.killed:
 			t.Stop()
 			r.blocked.Add(-1)
-			return serve.Response{}, ErrKilled
+			return ErrKilled
 		case <-t.C:
 			r.blocked.Add(-1)
 		}
 	}
-	return r.inner.SearchOwned(ctx, q, k)
+	return nil
 }
 
 // Load reports the backend's load plus calls currently stalled inside the

@@ -24,6 +24,9 @@ func (s *stub) SearchOwned(ctx context.Context, q []uint8, k int) (serve.Respons
 	s.mu.Unlock()
 	return serve.Response{BatchSize: 1}, nil
 }
+func (s *stub) SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (serve.Response, error) {
+	return s.SearchOwned(ctx, q, k)
+}
 func (s *stub) Load() int          { return 0 }
 func (s *stub) Stats() serve.Stats { return serve.Stats{} }
 func (s *stub) Close() error       { return nil }

@@ -151,6 +151,13 @@ type request struct {
 	k     int
 	enq   time.Time
 	reply chan reply // buffered(1): delivery never blocks the batcher
+
+	// probed requests carry a pre-resolved probe list (shard-local cluster
+	// IDs, ascending distance order) from a sharded front door; the batcher
+	// then skips the engine's CL stage (SearchBatchProbed). probes is frozen
+	// under the same contract as q.
+	probes []int32
+	probed bool
 }
 
 // Server coalesces concurrent single-query Search calls into dynamic
@@ -174,6 +181,8 @@ type Server struct {
 	// Batcher-owned scratch (no locking: single goroutine).
 	batchBuf []*request
 	qbuf     []uint8
+	psOff    []int32 // pooled ProbeSet storage for all-probed launches
+	psClu    []int32
 	est      time.Duration // EWMA of launch service time
 
 	enqueued   atomic.Uint64
@@ -224,7 +233,7 @@ func (s *Server) Options() Options { return s.opt }
 // copied at admission). k <= 0 selects the engine's configured K; k larger
 // than that is an error (the engine computes exactly K candidates).
 func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error) {
-	return s.search(ctx, q, k, true)
+	return s.search(ctx, q, k, true, nil, false)
 }
 
 // SearchOwned is Search without the admission copy of q: the caller
@@ -240,10 +249,33 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 // copy to S per-shard servers); everything else about the serving contract
 // is identical.
 func (s *Server) SearchOwned(ctx context.Context, q []uint8, k int) (Response, error) {
-	return s.search(ctx, q, k, false)
+	return s.search(ctx, q, k, false, nil, false)
 }
 
-func (s *Server) search(ctx context.Context, q []uint8, k int, copyQ bool) (Response, error) {
+// SearchProbedOwned is SearchOwned with the CL stage pre-resolved: probes
+// carries this query's cluster list in the engine's (shard-local) ID space,
+// ascending distance order, and the batcher launches the micro-batch
+// through Engine.SearchBatchProbed — no per-shard CL, no CL charge in this
+// server's simulated metrics (the front door that resolved the probes
+// accounts that phase once). Both q and probes are frozen under the
+// SearchOwned contract: valid and unmutated until the reply is delivered,
+// even on an error return. An empty probe list is valid and yields an empty
+// response. If a launch mixes probed and unprobed requests the batcher
+// falls back to the engine's own CL for the whole batch — results are
+// identical (the probes came from the same locator over the same shared
+// directory), only the CL attribution differs for that launch.
+func (s *Server) SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (Response, error) {
+	nlist := s.eng.Index().NList
+	for _, c := range probes {
+		if c < 0 || int(c) >= nlist {
+			s.rejected.Add(1)
+			return Response{}, fmt.Errorf("serve: probe cluster %d outside [0, %d)", c, nlist)
+		}
+	}
+	return s.search(ctx, q, k, false, probes, true)
+}
+
+func (s *Server) search(ctx context.Context, q []uint8, k int, copyQ bool, probes []int32, probed bool) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -261,11 +293,13 @@ func (s *Server) search(ctx context.Context, q []uint8, k int, copyQ bool) (Resp
 		q = append([]uint8(nil), q...)
 	}
 	r := &request{
-		ctx:   ctx,
-		q:     q,
-		k:     k,
-		enq:   time.Now(),
-		reply: make(chan reply, 1),
+		ctx:    ctx,
+		q:      q,
+		k:      k,
+		enq:    time.Now(),
+		reply:  make(chan reply, 1),
+		probes: probes,
+		probed: probed,
 	}
 
 	// Holding the admission read lock across the send means closeCh cannot
@@ -509,13 +543,29 @@ func (s *Server) launch(batch []*request) {
 
 	dim := s.eng.Dim()
 	s.qbuf = s.qbuf[:0]
+	allProbed := true
 	for _, r := range batch {
 		s.qbuf = append(s.qbuf, r.q...)
+		allProbed = allProbed && r.probed
 	}
 	qs := dataset.U8Set{N: live, D: dim, Data: s.qbuf}
 
 	t0 := time.Now()
-	res, err := s.eng.SearchBatch(qs)
+	var res *core.Result
+	var err error
+	if allProbed {
+		// Every member carries front-door probes: pack them (in batch order,
+		// each list already ascending-distance) and skip the CL stage.
+		s.psOff = append(s.psOff[:0], 0)
+		s.psClu = s.psClu[:0]
+		for _, r := range batch {
+			s.psClu = append(s.psClu, r.probes...)
+			s.psOff = append(s.psOff, int32(len(s.psClu)))
+		}
+		res, err = s.eng.SearchBatchProbed(qs, core.ProbeSet{Offsets: s.psOff, Clusters: s.psClu}, false)
+	} else {
+		res, err = s.eng.SearchBatch(qs)
+	}
 	dur := time.Since(t0)
 	// EWMA (7/8 history) of launch service time for the deadline policy.
 	s.est += (dur - s.est) / 8
