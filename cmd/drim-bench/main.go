@@ -65,6 +65,17 @@
 //
 //	drim-bench -replicas 2 -straggler                # 2 shards x 2 replicas
 //	drim-bench -replicas 3 -shards 4 -straggler -stragglerdelay 50ms -stragglerevery 3
+//
+// Mutate mode (-mutate) prices the live-mutability overlay: the packed
+// index is measured as the compacted baseline, then 1% and 10% of the base
+// count are appended live (routed to their nearest clusters, PQ-encoded
+// with the frozen codebooks, served from append segments) and the offline
+// batch is re-measured at each fraction. One mode:"mutate" entry per
+// fraction records overlay vs compacted QPS; at the end the overlay is
+// compacted and the results verified bit-identical to the live answers:
+//
+//	drim-bench -mutate
+//	drim-bench -mutate -n 200000 -benchruns 5
 package main
 
 import (
@@ -92,6 +103,7 @@ func main() {
 		benchProcs = flag.String("benchprocs", "1,max", "comma-separated GOMAXPROCS sweep for -bench (max = NumCPU)")
 		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench/-serve")
 		serveBench = flag.Bool("serve", false, "closed-loop load-generator benchmark over the online serving layer")
+		mutate     = flag.Bool("mutate", false, "live-mutability benchmark: QPS with 1%/10% live appends vs the compacted baseline")
 		shards     = flag.Int("shards", 0, "cluster mode: scatter-gather benchmark over this many shard engines (-dpus is per shard)")
 		assignFlag = flag.String("assign", "hash", "-shards: partitioning policy (hash or kmeans)")
 		replicas   = flag.Int("replicas", 0, "replica mode: hedged-vs-unhedged tail benchmark over this many replicas per shard (default 2 shards; -shards overrides)")
@@ -127,6 +139,18 @@ func main() {
 		}
 		if err := runClusterBench(*n, *queries, *dpus, *seed, *shards, *assignFlag,
 			*benchRuns, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *mutate {
+		if *selfBench || *serveBench || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -mutate excludes -bench/-serve/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runMutateBench(*n, *queries, *dpus, *seed, *benchRuns, *benchNote, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
 			os.Exit(1)
 		}

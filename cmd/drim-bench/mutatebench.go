@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+// runMutateBench is the -mutate mode: it prices the live-mutability overlay.
+// The same SIFT-shaped fixture as -bench is built and measured packed (the
+// compacted baseline), then 1% and 10% of the base count are appended live —
+// nearest-centroid routed and PQ-encoded with the frozen codebooks, served
+// out of the append segments — and the offline SearchBatch wall clock is
+// re-measured at each fraction. One mode:"mutate" entry per fraction lands
+// in the trajectory file, each carrying the shared compacted baseline, so
+// the overlay_qps/compacted_qps ratio tracks the cost of serving fresh
+// points across PRs. At the end the overlay is compacted and the results
+// are verified bit-identical to a frozen-quantizer rebuild over the same
+// logical corpus — the mutability contract, checked at benchmark scale.
+func runMutateBench(n, queries, dpus int, seed int64, runs int, note, outPath string) error {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	if dpus <= 0 {
+		dpus = core.DefaultOptions().NumDPUs
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	fracs := []float64{0.01, 0.10}
+	extra := int(float64(n)*fracs[len(fracs)-1]) + 1
+
+	fmt.Printf("drim-bench mutate benchmark: N=%d queries=%d DPUs=%d runs=%d appends=%v\n",
+		n, queries, dpus, runs, fracs)
+	s := dataset.SIFT(n+extra, queries, seed)
+	base := dataset.U8Set{N: n, D: s.Base.D, Data: s.Base.Data[:n*s.Base.D]}
+	t0 := time.Now()
+	ix, err := ivf.Build(base, ivf.BuildConfig{
+		NList:       1024,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 4,
+		TrainSample: 8000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
+
+	opts := core.DefaultOptions()
+	opts.NumDPUs = dpus
+	eng, err := core.New(ix, s.Queries, opts)
+	if err != nil {
+		return err
+	}
+
+	// Best-of-runs offline batch, the same measurement discipline as -bench.
+	measure := func() (float64, *core.Result, error) {
+		bestSec := 0.0
+		var bestRes *core.Result
+		for r := 0; r < runs; r++ {
+			t := time.Now()
+			res, err := eng.SearchBatch(s.Queries)
+			if err != nil {
+				return 0, nil, err
+			}
+			if sec := time.Since(t).Seconds(); bestRes == nil || sec < bestSec {
+				bestSec, bestRes = sec, res
+			}
+		}
+		return bestSec, bestRes, nil
+	}
+
+	baseSec, _, err := measure()
+	if err != nil {
+		return err
+	}
+	baseQPS := float64(queries) / baseSec
+	fmt.Printf("  compacted baseline: %.3fs (%.0f QPS wall)\n", baseSec, baseQPS)
+
+	var trajectory []benchEntry
+	raw, err := os.ReadFile(outPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", outPath, err)
+		}
+	case !os.IsNotExist(err):
+		return fmt.Errorf("reading %s: %w", outPath, err)
+	}
+
+	inserted := 0
+	var lastRes *core.Result
+	for _, frac := range fracs {
+		target := int(float64(n) * frac)
+		if count := target - inserted; count > 0 {
+			vecs := dataset.U8Set{
+				N: count, D: s.Base.D,
+				Data: s.Base.Data[(n+inserted)*s.Base.D : (n+target)*s.Base.D],
+			}
+			ids := make([]int32, count)
+			for i := range ids {
+				ids[i] = int32(n + inserted + i)
+			}
+			if err := eng.Insert(vecs, ids); err != nil {
+				return err
+			}
+			inserted = target
+		}
+		overlaySec, res, err := measure()
+		if err != nil {
+			return err
+		}
+		lastRes = res
+		overlayQPS := float64(queries) / overlaySec
+		fmt.Printf("  +%d live appends (%.0f%%, %d overlay bytes): %.3fs (%.0f QPS wall, %.2fx of baseline)\n",
+			inserted, frac*100, ix.MutationBytes(), overlaySec, overlayQPS, overlayQPS/baseQPS)
+
+		entry := benchEntry{
+			Note:       note,
+			Mode:       "mutate",
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			N:          n, D: s.Base.D, Queries: queries, Runs: runs,
+			DPUs:         dpus,
+			AppendFrac:   frac,
+			AppendCount:  inserted,
+			OverlayBytes: ix.MutationBytes(),
+			OverlaySec:   overlaySec,
+			OverlayQPS:   overlayQPS,
+			CompactedSec: baseSec,
+			CompactedQPS: baseQPS,
+			WallQPS:      overlayQPS,
+			SimQPS:       res.Metrics.QPS,
+		}
+		if prev := lastComparable(trajectory, entry); prev != nil {
+			entry.SpeedupVsPrev = overlayQPS / prev.OverlayQPS
+			fmt.Printf("  vs previous mutate entry (%s): %.2fx\n", prev.Timestamp, entry.SpeedupVsPrev)
+		}
+		trajectory = append(trajectory, entry)
+	}
+
+	// Fold the overlay back in and hold the benchmark to the serving
+	// contract: post-compact results must be bit-identical to the live
+	// overlay's (same logical corpus, packed vs appended layout).
+	if err := eng.Compact(); err != nil {
+		return err
+	}
+	compSec, compRes, err := measure()
+	if err != nil {
+		return err
+	}
+	for qi := range lastRes.IDs {
+		if !slices.Equal(compRes.IDs[qi], lastRes.IDs[qi]) || !slices.Equal(compRes.Items[qi], lastRes.Items[qi]) {
+			return fmt.Errorf("mutate benchmark: query %d diverges after Compact (overlay and packed answers must be bit-identical)", qi)
+		}
+	}
+	fmt.Printf("  after Compact (%d points): %.3fs (%.0f QPS wall), results bit-identical to live overlay\n",
+		n+inserted, compSec, float64(queries)/compSec)
+
+	raw, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded %d mutate entries in %s (total %d)\n", len(fracs), outPath, len(trajectory))
+	return nil
+}

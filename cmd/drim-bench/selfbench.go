@@ -26,8 +26,9 @@ type benchEntry struct {
 	// Mode distinguishes entry kinds: "" (legacy/default) is the offline
 	// -bench measurement, "serve" the -serve closed-loop load-generator
 	// measurement over the online serving layer, "cluster" the -shards
-	// scatter-gather measurement over the sharded fleet. Cross-PR
-	// comparisons only match entries of the same mode.
+	// scatter-gather measurement over the sharded fleet, "mutate" the
+	// -mutate live-appends-vs-compacted measurement. Cross-PR comparisons
+	// only match entries of the same mode.
 	Mode string `json:"mode,omitempty"`
 	// Timestamp is the measurement time (RFC 3339, UTC).
 	Timestamp string `json:"timestamp"`
@@ -143,6 +144,25 @@ type benchEntry struct {
 	HedgedP999MS     float64 `json:"hedged_p999_ms,omitempty"`
 	UnhedgedQPS      float64 `json:"unhedged_qps,omitempty"`
 	HedgedQPS        float64 `json:"hedged_qps,omitempty"`
+
+	// Mutate-mode fields (mode == "mutate"): the -mutate live-mutability
+	// benchmark. AppendFrac is the fraction of the base count appended live
+	// (one entry per fraction; AppendCount the resulting point count,
+	// OverlayBytes the overlay's memory cost at measurement time).
+	// OverlaySec/OverlayQPS measure the offline batch over the index with
+	// that overlay in place — fresh points served out of append segments —
+	// and CompactedSec/CompactedQPS the same build's packed baseline before
+	// any append, shared by every fraction of the run; within a run,
+	// overlay_qps / compacted_qps prices the overlay scan. For mutate
+	// entries SpeedupVsPrev is this OverlayQPS over the previous comparable
+	// entry's (same fixture and fraction; >1 = faster mutable serving).
+	AppendFrac   float64 `json:"append_frac,omitempty"`
+	AppendCount  int     `json:"append_count,omitempty"`
+	OverlayBytes int64   `json:"overlay_bytes,omitempty"`
+	OverlaySec   float64 `json:"overlay_seconds,omitempty"`
+	OverlayQPS   float64 `json:"overlay_qps,omitempty"`
+	CompactedSec float64 `json:"compacted_seconds,omitempty"`
+	CompactedQPS float64 `json:"compacted_qps,omitempty"`
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -362,6 +382,10 @@ func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 				p.Assignment == e.Assignment && p.Clients == e.Clients &&
 				p.StragglerDelayMS == e.StragglerDelayMS &&
 				p.StragglerEvery == e.StragglerEvery && p.HedgedP99MS > 0 {
+				return p
+			}
+		case "mutate":
+			if p.AppendFrac == e.AppendFrac && p.OverlayQPS > 0 {
 				return p
 			}
 		default:

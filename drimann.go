@@ -143,6 +143,42 @@
 // NewClusterServerRouted exposes the routing policy; NewClusterServer uses
 // defaults.
 //
+// # Live mutability
+//
+// An index stays mutable after deployment. Engine.Insert assigns each new
+// point to its nearest coarse centroid (bit-identically to index build),
+// PQ-encodes it with the frozen codebooks, and appends it to that cluster's
+// append segment; Engine.Delete tombstones base-list points (filtered by
+// the DPU-side top-k accept pass) and removes still-appended points
+// outright. Both are visible to the next launch — inserted points are
+// findable immediately, including through the selective-scatter path (a
+// previously-empty cluster gains a placement slice and an owner-map entry
+// the moment a point lands in it), and deleted points are gone. The
+// quantizers are frozen: mutations never retrain centroids or codebooks, so
+// a heavily mutated index drifts from what a retrain would build; Compact
+// folds the append segments and tombstones back into the packed inverted
+// lists and re-runs the layout optimizer, after which results are
+// bit-identical to a freshly built engine over the same logical corpus
+// (the equivalence suites in internal/ivf, internal/core and
+// internal/cluster pin this). Replacing a point is Delete then Insert;
+// inserting a live ID is an error.
+//
+// Mutations are not safe concurrently with searches on the same engine —
+// the serving layers provide the synchronization. Server.Insert/Delete/
+// Compact execute on the batcher goroutine between launches (no hot-path
+// locking; queries admitted before the call are answered before or after
+// the mutation, never during), and ClusterServer.Insert/Delete/Compact
+// quiesce every replica batcher of every shard at a launch boundary, apply
+// the mutation through the cluster's global-ID routing (Cluster.Insert
+// places each point on the shard a fresh build would pick; Cluster.Compact
+// renumbers shard-local IDs back to the dense monotone tables the merge
+// relies on), and release the fleet. Memory accounting follows along:
+// MemoryFootprint and ClusterStats include live append-segment and
+// tombstone bytes, which return to zero at Compact. `drim-bench -mutate`
+// measures serving throughput with a live append overlay (1% and 10%
+// appended points) against the compacted baseline as mode:"mutate" entries
+// in BENCH_core.json.
+//
 // Quick start:
 //
 //	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drimann/internal/core"
@@ -115,22 +116,35 @@ type Shard struct {
 	// are built from the same sub-index with the same options, so they are
 	// interchangeable: any replica's answer is the shard's answer.
 	Engines []*core.Engine
-	// GlobalID maps shard-local point IDs to corpus-global IDs; strictly
-	// increasing, so the deterministic (dist, id) order survives the remap.
-	GlobalID []int32
+	// table maps shard-local point IDs to corpus-global IDs. It is
+	// copy-on-write behind an atomic pointer: the routed front door remaps
+	// merged results on caller goroutines concurrently with live mutations,
+	// and a reader holding the previous table stays self-consistent (results
+	// it merges were produced under that table). Strictly increasing at
+	// build time and after every Compact; between compactions appends may
+	// break monotonicity, which only the bit-identity guarantee (not
+	// findability) depends on.
+	table atomic.Pointer[[]int32]
 	// Points is the number of corpus points this shard owns.
 	Points int
 }
 
+// GlobalIDs returns the shard's current local→global ID table (an immutable
+// snapshot — mutations install a fresh table rather than editing this one).
+func (sh *Shard) GlobalIDs() []int32 { return *sh.table.Load() }
+
+func (sh *Shard) setTable(t []int32) { sh.table.Store(&t) }
+
 // Offset returns the shard's global-ID offset — the corpus ID of its first
-// owned point (0 for an empty shard). The full GlobalID table handles
+// owned point (0 for an empty shard). The full GlobalIDs table handles
 // non-contiguous ownership; the offset is the derived summary callers use
 // to identify where a shard's range begins.
 func (sh *Shard) Offset() int32 {
-	if len(sh.GlobalID) == 0 {
+	t := sh.GlobalIDs()
+	if len(t) == 0 {
 		return 0
 	}
-	return sh.GlobalID[0]
+	return t[0]
 }
 
 // Cluster is a fleet of shard engines behind one scatter-gather front.
@@ -144,12 +158,31 @@ type Cluster struct {
 	// so their locators produce identical probes). owners[c] lists the
 	// shards whose sub-index holds a non-empty inverted list for cluster c:
 	// exactly one shard under AssignKMeans, potentially all under
-	// AssignHash. Together they drive selective scatter.
+	// AssignHash. Together they drive selective scatter. The owner map is
+	// copy-on-write behind an atomic pointer: the routed front door reads it
+	// per probe on caller goroutines, concurrently with mutations that make
+	// previously-empty clusters non-empty.
 	loc    *core.Locator
-	owners [][]int32
+	owners atomic.Pointer[[][]int32]
 
 	routeMu sync.Mutex
 	route   RouteStats
+
+	// mu serializes mutations (Insert/Delete/Compact) with each other and
+	// with Stats snapshots, so a snapshot never mixes pre- and
+	// post-compaction shard views. The search path never takes it.
+	mu sync.Mutex
+	// shardOfCluster is the authoritative cluster→shard routing under
+	// AssignKMeans (nil under AssignHash): inserts into cluster c land on
+	// shardOfCluster[c] even when the cluster is currently empty.
+	shardOfCluster []int32
+	// g2l[s] maps global id → shard-local id for shard s, built lazily at
+	// the first mutation (O(N) once) to route deletes and reject duplicate
+	// inserts.
+	g2l []map[int32]int32
+	// esc is the encode scratch for front-door insert assignment; guarded
+	// by mu.
+	esc *ivf.EncodeScratch
 }
 
 // RouteStats aggregates the selective-scatter routing behavior of every
@@ -206,9 +239,14 @@ type Stats struct {
 	Route     RouteStats
 }
 
-// Stats snapshots the cluster's memory and routing statistics.
+// Stats snapshots the cluster's memory and routing statistics. The shard
+// sweep runs under the mutation mutex, so a snapshot taken while another
+// goroutine inserts, deletes or compacts never mixes pre- and
+// post-mutation shard views (MemoryFootprint reads the live
+// append-segment/tombstone bytes, which only change under that mutex).
 func (cl *Cluster) Stats() Stats {
 	st := Stats{Selective: cl.Selective(), Shards: make([]ShardMemStats, len(cl.shards))}
+	cl.mu.Lock()
 	for s, sh := range cl.shards {
 		mf := sh.Engine.MemoryFootprint()
 		r := len(sh.Engines)
@@ -220,6 +258,7 @@ func (cl *Cluster) Stats() Stats {
 			TotalBytes:      mf.SharedBytes + int64(r)*mf.PerReplicaBytes,
 		}
 	}
+	cl.mu.Unlock()
 	cl.routeMu.Lock()
 	st.Route = cl.route
 	st.Route.FanoutHist = append([]int(nil), cl.route.FanoutHist...)
@@ -237,9 +276,16 @@ func (cl *Cluster) Selective() bool { return cl.opt.Assignment == AssignKMeans }
 // stateless per call, safe for concurrent use).
 func (cl *Cluster) Locator() *core.Locator { return cl.loc }
 
-// OwnerShards returns the shards owning cluster c's inverted list (view,
-// not a copy; empty for an empty cluster).
-func (cl *Cluster) OwnerShards(c int32) []int32 { return cl.owners[c] }
+// OwnerShards returns the shards owning cluster c's inverted list or append
+// segment (view into the current copy-on-write owner map, not a copy; empty
+// for an empty cluster). Safe for concurrent use with mutations.
+func (cl *Cluster) OwnerShards(c int32) []int32 { return (*cl.owners.Load())[c] }
+
+// ownersView returns the current owner map snapshot (one atomic load; the
+// per-probe loops index into it without re-loading).
+func (cl *Cluster) ownersView() [][]int32 { return *cl.owners.Load() }
+
+func (cl *Cluster) storeOwners(o [][]int32) { cl.owners.Store(&o) }
 
 // recordRoute folds one front-door batch into the cluster's RouteStats.
 // fanouts[i] is query i's shards-contacted count; wall is the real time the
@@ -275,13 +321,16 @@ func splitmix64(x uint64) uint64 {
 // shardOfPoints computes each corpus point's shard under the configured
 // assignment. nPoints is the corpus size (max list ID + 1); profile is the
 // optional workload that weights the kmeans balance (see clusterHeat).
-func shardOfPoints(ix *ivf.Index, nPoints int, profile dataset.U8Set, opt Options) []int32 {
+// It also returns the cluster→shard map under AssignKMeans (nil under
+// AssignHash) — the routing live inserts follow, including into clusters
+// that own no points yet.
+func shardOfPoints(ix *ivf.Index, nPoints int, profile dataset.U8Set, opt Options) ([]int32, []int32) {
 	owner := make([]int32, nPoints)
 	if opt.Assignment == AssignHash {
 		for i := range owner {
 			owner[i] = int32(splitmix64(uint64(i)) % uint64(opt.Shards))
 		}
-		return owner
+		return owner, nil
 	}
 	heat := clusterHeat(ix, profile, opt.Engine.NProbe)
 	shardOfCluster := assignClustersKMeans(ix, opt.Shards, heat)
@@ -290,7 +339,7 @@ func shardOfPoints(ix *ivf.Index, nPoints int, profile dataset.U8Set, opt Option
 			owner[id] = shardOfCluster[c]
 		}
 	}
-	return owner
+	return owner, shardOfCluster
 }
 
 // clusterHeat estimates each coarse cluster's expected query-time work —
@@ -470,7 +519,7 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 			}
 		}
 	}
-	owner := shardOfPoints(ix, nPoints, profile, opt)
+	owner, shardOfCluster := shardOfPoints(ix, nPoints, profile, opt)
 
 	// Local ID spaces: enumerate each shard's points in ascending global ID
 	// order, so the local→global table is strictly increasing and the remap
@@ -529,21 +578,24 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 		}
 		cl.shards[s] = &Shard{
 			Engine: engines[0], Engines: engines,
-			GlobalID: tables[s], Points: len(tables[s]),
+			Points: len(tables[s]),
 		}
+		cl.shards[s].setTable(tables[s])
 	}
+	cl.shardOfCluster = shardOfCluster
 
 	// Cluster→shard owner map for selective scatter: shard s owns cluster c
 	// iff its sub-index holds a non-empty local list for c.
-	cl.owners = make([][]int32, ix.NList)
+	owners := make([][]int32, ix.NList)
 	for s, sh := range cl.shards {
 		sub := sh.Engine.Index()
 		for c := range sub.Lists {
 			if len(sub.Lists[c]) > 0 {
-				cl.owners[c] = append(cl.owners[c], int32(s))
+				owners[c] = append(owners[c], int32(s))
 			}
 		}
 	}
+	cl.storeOwners(owners)
 	cl.loc = cl.shards[0].Engine.Locator()
 	return cl, nil
 }
@@ -565,9 +617,10 @@ func (cl *Cluster) partitionProbes(ps core.ProbeSet, nq int) ([]core.ProbeSet, [
 		touched[s] = -1
 	}
 	fanouts := make([]int, nq)
+	owners := cl.ownersView()
 	for qi := 0; qi < nq; qi++ {
 		for _, c := range ps.Of(qi) {
-			for _, s := range cl.owners[c] {
+			for _, s := range owners[c] {
 				out[s].Clusters = append(out[s].Clusters, c)
 				if touched[s] != qi {
 					touched[s] = qi
@@ -663,7 +716,7 @@ func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
 				continue // shard not contacted (empty probe lists)
 			}
 			items := r.Items[qi]
-			core.RemapItems(items, cl.shards[s].GlobalID)
+			core.RemapItems(items, cl.shards[s].GlobalIDs())
 			parts = append(parts, items)
 		}
 		out.IDs[qi], out.Items[qi] = core.MergeShardTopK(k, parts)

@@ -150,16 +150,17 @@ func TestClusterPartition(t *testing.T) {
 			seen := make(map[int32]int)
 			total := 0
 			for si, sh := range cl.Shards() {
-				if err := core.ValidateRemapTable(sh.GlobalID); err != nil {
+				tbl := sh.GlobalIDs()
+				if err := core.ValidateRemapTable(tbl); err != nil {
 					t.Fatalf("shard %d: %v", si, err)
 				}
-				if sh.Points != len(sh.GlobalID) {
-					t.Fatalf("shard %d Points %d != table %d", si, sh.Points, len(sh.GlobalID))
+				if sh.Points != len(tbl) {
+					t.Fatalf("shard %d Points %d != table %d", si, sh.Points, len(tbl))
 				}
-				if sh.Points > 0 && sh.Offset() != sh.GlobalID[0] {
-					t.Fatalf("shard %d Offset %d != first global %d", si, sh.Offset(), sh.GlobalID[0])
+				if sh.Points > 0 && sh.Offset() != tbl[0] {
+					t.Fatalf("shard %d Offset %d != first global %d", si, sh.Offset(), tbl[0])
 				}
-				for _, g := range sh.GlobalID {
+				for _, g := range tbl {
 					if prev, dup := seen[g]; dup {
 						t.Fatalf("point %d owned by shards %d and %d", g, prev, si)
 					}

@@ -1,0 +1,196 @@
+// Live mutability across the fleet: Insert routes each new point to a shard
+// through the same assignment the build used (the retained cluster→shard map
+// under AssignKMeans, the point-ID hash under AssignHash), Delete routes by
+// the global→local table, and Compact renumbers every shard's local ID space
+// back to the dense monotone layout a fresh partitioning would produce, so
+// post-compaction results are bit-identical to a freshly built fleet over
+// the same logical corpus.
+//
+// Between compactions the layer promises findability, not bit-identity: an
+// inserted point's shard-local id is appended to the end of the ID table, so
+// the table can lose monotonicity until Compact restores it. The owner map
+// and the per-shard tables are copy-on-write (see Cluster/Shard), which is
+// what lets the routed server keep serving concurrently — provided every
+// shard engine is quiesced around the actual engine mutation, which
+// cluster.Server does at batch boundaries.
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"drimann/internal/dataset"
+)
+
+// ensureG2L lazily builds the per-shard global→local maps (O(N) once) and
+// the front-door encode scratch. Callers hold cl.mu.
+func (cl *Cluster) ensureG2L() {
+	if cl.g2l != nil {
+		return
+	}
+	cl.g2l = make([]map[int32]int32, len(cl.shards))
+	for s, sh := range cl.shards {
+		tbl := sh.GlobalIDs()
+		m := make(map[int32]int32, len(tbl))
+		for local, g := range tbl {
+			m[g] = int32(local)
+		}
+		cl.g2l[s] = m
+	}
+	cl.esc = cl.ix.NewEncodeScratch()
+}
+
+// findShard returns the shard owning live global id, or -1. Callers hold
+// cl.mu and have run ensureG2L.
+func (cl *Cluster) findShard(id int32) int {
+	for s := range cl.g2l {
+		if _, ok := cl.g2l[s][id]; ok {
+			return s
+		}
+	}
+	return -1
+}
+
+// Insert adds vecs[i] under global ids[i]. Under AssignKMeans each point
+// lands on the shard owning its nearest centroid's cluster (even a cluster
+// that owned no points at build time); under AssignHash on the shard its ID
+// hashes to — both exactly where a fresh build over the grown corpus would
+// place it. The owner map is updated before returning, so the very next
+// selective-scatter batch routes to the new point. Not safe concurrently
+// with searches on the shard engines; the routed cluster.Server serializes
+// this at batch boundaries.
+func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
+	if vecs.N != len(ids) {
+		return fmt.Errorf("cluster: %d vectors for %d ids", vecs.N, len(ids))
+	}
+	if vecs.N > 0 && vecs.D != cl.ix.Dim {
+		return fmt.Errorf("cluster: insert dim %d, index dim %d", vecs.D, cl.ix.Dim)
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.ensureG2L()
+	for i := 0; i < vecs.N; i++ {
+		id := ids[i]
+		if id < 0 {
+			return fmt.Errorf("cluster: insert id %d negative", id)
+		}
+		if s := cl.findShard(id); s >= 0 {
+			return fmt.Errorf("cluster: id %d already present on shard %d (delete it first)", id, s)
+		}
+		var s int32
+		if cl.shardOfCluster != nil {
+			c := cl.ix.AssignVec(vecs.Vec(i), cl.esc)
+			s = cl.shardOfCluster[c]
+		} else {
+			s = int32(splitmix64(uint64(id)) % uint64(len(cl.shards)))
+		}
+		sh := cl.shards[s]
+		tbl := sh.GlobalIDs()
+		local := int32(len(tbl))
+		one := dataset.U8Set{N: 1, D: vecs.D, Data: vecs.Vec(i)}
+		if err := sh.Engine.Insert(one, []int32{local}); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		newTbl := make([]int32, len(tbl)+1)
+		copy(newTbl, tbl)
+		newTbl[len(tbl)] = id
+		sh.setTable(newTbl)
+		sh.Points++
+		cl.g2l[s][id] = local
+		c, ok := sh.Engine.Index().WhereIs(local)
+		if !ok {
+			return fmt.Errorf("cluster: shard %d lost inserted local id %d", s, local)
+		}
+		cl.addOwner(c, s)
+	}
+	return nil
+}
+
+// addOwner records shard s as an owner of cluster c (copy-on-write; no-op
+// when already recorded). Callers hold cl.mu.
+func (cl *Cluster) addOwner(c, s int32) {
+	owners := cl.ownersView()
+	for _, o := range owners[c] {
+		if o == s {
+			return
+		}
+	}
+	next := make([][]int32, len(owners))
+	copy(next, owners)
+	row := make([]int32, 0, len(owners[c])+1)
+	row = append(row, owners[c]...)
+	row = append(row, s)
+	sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	next[c] = row
+	cl.storeOwners(next)
+}
+
+// Delete removes global ids from the fleet, routing each to the shard that
+// holds it. Owner-map entries are left in place until Compact (routing to a
+// shard whose list became all-tombstones is harmless, just not minimal).
+func (cl *Cluster) Delete(ids []int32) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.ensureG2L()
+	for _, id := range ids {
+		s := cl.findShard(id)
+		if s < 0 {
+			return fmt.Errorf("cluster: id %d not present", id)
+		}
+		local := cl.g2l[s][id]
+		if err := cl.shards[s].Engine.Delete([]int32{local}); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		delete(cl.g2l[s], id)
+		cl.shards[s].Points--
+	}
+	return nil
+}
+
+// Compact folds every shard's append segments and tombstones into its
+// packed layout and renumbers shard-local IDs into the dense ascending
+// order of the surviving global IDs — restoring the strictly-increasing
+// remap tables that make merged results bit-identical to a freshly built
+// fleet (and to a single engine) over the same logical corpus. The owner
+// map is rebuilt exactly.
+func (cl *Cluster) Compact() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.ensureG2L()
+	for s, sh := range cl.shards {
+		m := cl.g2l[s]
+		globals := make([]int32, 0, len(m))
+		for g := range m {
+			globals = append(globals, g)
+		}
+		sort.Slice(globals, func(i, j int) bool { return globals[i] < globals[j] })
+		oldTbl := sh.GlobalIDs()
+		if !sh.Engine.Index().HasMutations() && len(globals) == len(oldTbl) {
+			continue // untouched shard: table already dense and monotone
+		}
+		remap := make([]int32, len(oldTbl))
+		for newLocal, g := range globals {
+			remap[m[g]] = int32(newLocal)
+		}
+		if err := sh.Engine.CompactRemap(remap); err != nil {
+			return fmt.Errorf("cluster: shard %d compact: %w", s, err)
+		}
+		sh.setTable(globals)
+		sh.Points = len(globals)
+		for newLocal, g := range globals {
+			m[g] = int32(newLocal)
+		}
+	}
+	owners := make([][]int32, cl.ix.NList)
+	for s, sh := range cl.shards {
+		sub := sh.Engine.Index()
+		for c := range sub.Lists {
+			if len(sub.Lists[c]) > 0 {
+				owners[c] = append(owners[c], int32(s))
+			}
+		}
+	}
+	cl.storeOwners(owners)
+	return nil
+}

@@ -156,6 +156,14 @@ type Server struct {
 	opt    RouteOptions
 	groups [][]*replicaHandle // [shard][replica]
 
+	// servers retains the raw per-shard serve.Servers behind the Replica
+	// wrappers: mutations quiesce the real batchers, and the fault-injection
+	// wrap hook decorates only the query path.
+	servers [][]*serve.Server
+	// mutMu serializes fleet-wide mutations: two concurrent exclusiveAll
+	// calls parking the same batchers in different orders would deadlock.
+	mutMu sync.Mutex
+
 	choice atomic.Uint64 // power-of-two-choices pick stream
 
 	canceled  atomic.Uint64
@@ -188,16 +196,23 @@ func NewServerRouted(cl *Cluster, opt serve.Options, route RouteOptions) (*Serve
 		return nil, fmt.Errorf("cluster: nil cluster")
 	}
 	route.defaults()
-	s := &Server{cl: cl, opt: route, groups: make([][]*replicaHandle, len(cl.shards))}
+	s := &Server{
+		cl:      cl,
+		opt:     route,
+		groups:  make([][]*replicaHandle, len(cl.shards)),
+		servers: make([][]*serve.Server, len(cl.shards)),
+	}
 	s.choice.Store(route.Seed)
 	for si, sh := range cl.shards {
 		s.groups[si] = make([]*replicaHandle, len(sh.Engines))
+		s.servers[si] = make([]*serve.Server, len(sh.Engines))
 		for ri, eng := range sh.Engines {
 			srv, err := serve.New(eng, opt)
 			if err != nil {
 				s.closeStarted()
 				return nil, fmt.Errorf("cluster: shard %d replica %d server: %w", si, ri, err)
 			}
+			s.servers[si][ri] = srv
 			var rep Replica = srv
 			if route.WrapReplica != nil {
 				rep = route.WrapReplica(si, ri, rep)
@@ -464,13 +479,14 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		s.cl.recordRoute([]int{contacted}, time.Since(t0).Seconds(), loc.CLSeconds(1))
 		if contacted == 0 {
 			// Every probed cluster is empty fleet-wide: the answer is empty,
-			// no shard needs to hear about it.
+			// no shard needs to hear about it. Non-nil empty IDs and nil Items
+			// match the single engine's empty-result convention bit for bit.
 			lat := time.Since(t0)
 			s.doneMu.Lock()
 			s.completed++
 			s.latencyNS += int64(lat)
 			s.doneMu.Unlock()
-			return Response{Latency: lat}, nil
+			return Response{IDs: []int32{}, Latency: lat}, nil
 		}
 	}
 
@@ -537,7 +553,7 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		if !answered[i] {
 			continue
 		}
-		core.RemapItems(resps[i].Items, s.cl.shards[i].GlobalID)
+		core.RemapItems(resps[i].Items, s.cl.shards[i].GlobalIDs())
 		parts = append(parts, resps[i].Items)
 		if resps[i].BatchSize > maxBatch {
 			maxBatch = resps[i].BatchSize
@@ -553,6 +569,80 @@ func (s *Server) Search(ctx context.Context, q []uint8, k int) (Response, error)
 		IDs: ids, Items: items, Latency: lat,
 		MaxShardBatch: maxBatch, Hedged: hedgedAny, ShardsContacted: contacted,
 	}, nil
+}
+
+// exclusiveAll parks every replica batcher in the fleet at a launch
+// boundary simultaneously (rendezvous through each serve.Server.Exclusive),
+// runs fn while all engines are quiescent, then releases them. Replicas of
+// one shard share their engine's index and placement, so a mutation is only
+// safe once every batcher that could launch over that state is parked. If
+// any replica has closed, fn is skipped and ErrClosed returned; the batchers
+// that did park are released unharmed.
+func (s *Server) exclusiveAll(fn func() error) error {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	n := 0
+	for _, g := range s.servers {
+		n += len(g)
+	}
+	acks := make(chan bool, n)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, g := range s.servers {
+		for _, srv := range g {
+			wg.Add(1)
+			go func(srv *serve.Server) {
+				defer wg.Done()
+				err := srv.Exclusive(func() error {
+					acks <- true
+					<-release
+					return nil
+				})
+				if err != nil {
+					// ErrClosed: Exclusive never accepted fn, so no true ack
+					// was (or will be) sent for this server.
+					acks <- false
+				}
+			}(srv)
+		}
+	}
+	ok := true
+	for i := 0; i < n; i++ {
+		if !<-acks {
+			ok = false
+		}
+	}
+	var err error
+	if ok {
+		err = fn()
+	} else {
+		err = serve.ErrClosed
+	}
+	close(release)
+	wg.Wait()
+	return err
+}
+
+// Insert adds points to the live fleet (Cluster.Insert semantics: global
+// ids, build-identical shard routing, owner map updated) with every replica
+// batcher quiesced for the duration — queries admitted before the call are
+// answered before or after the mutation, never during, and every query
+// batched after the call returns sees the new points.
+func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
+	return s.exclusiveAll(func() error { return s.cl.Insert(vecs, ids) })
+}
+
+// Delete removes global ids from the live fleet under the same fleet-wide
+// quiescence as Insert.
+func (s *Server) Delete(ids []int32) error {
+	return s.exclusiveAll(func() error { return s.cl.Delete(ids) })
+}
+
+// Compact folds every shard's mutation overlay back into its packed layout
+// (Cluster.Compact) under fleet-wide quiescence; from the next batch on,
+// merged results are bit-identical to a freshly built fleet.
+func (s *Server) Compact() error {
+	return s.exclusiveAll(func() error { return s.cl.Compact() })
 }
 
 // Close seals every replica server (concurrently) and waits for each to

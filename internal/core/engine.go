@@ -268,6 +268,17 @@ type Engine struct {
 	// bsum[c][i] is the static per-point decomposition term of point i of
 	// cluster c (ivf.LUTBuilder.ClusterADCSums), built once at deployment.
 	bsum [][]int32
+	// asums[c][i] is bsum's twin for cluster c's live append segment,
+	// maintained incrementally by Insert/Delete and cleared by Compact.
+	// Like bsum it is shared across replicas: the outer array is allocated
+	// once and only its elements are rewritten.
+	asums [][]int32
+
+	// freq and lcfg are the heat profile and layout configuration New
+	// resolved, retained so Compact can re-run the layout optimizer over the
+	// post-fold cluster sizes with identical inputs.
+	freq []float64
+	lcfg layout.Config
 
 	// Per-launch reusable state: one kernel scratch per DPU plus the shared
 	// (query, cluster) group store. Together they make the launch hot path
@@ -494,6 +505,9 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 		return nil, err
 	}
 
+	if ix.HasMutations() {
+		return nil, fmt.Errorf("core: index has uncompacted mutations; Compact it before deploying")
+	}
 	e := &Engine{ix: ix, sys: sys, opts: opts, codeBytes: codeBytesFor(ix.CB, ix.M)}
 	loc, err := NewLocator(ix, opts)
 	if err != nil {
@@ -556,6 +570,8 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: layout invariants: %w", err)
 	}
 	e.pl = pl
+	e.freq = freq
+	e.lcfg = lcfg
 
 	if err := e.accountMemory(); err != nil {
 		return nil, err
@@ -571,6 +587,7 @@ func New(ix *ivf.Index, profile dataset.U8Set, opts Options) (*Engine, error) {
 	e.algebraic = e.lut != nil && !opts.PerOpAccounting
 	if e.algebraic {
 		e.bsum = make([][]int32, ix.NList)
+		e.asums = make([][]int32, ix.NList)
 		parallelFor(ix.NList, opts.Workers, func(_, c int) {
 			codes := ix.Codes[c]
 			sums := make([]int32, len(codes)/ix.M)
@@ -1324,19 +1341,44 @@ func (e *Engine) runDPUBlock(d int, tasks []sched.Task, gLo, gHi int) {
 		s := &e.pl.Slices[t.Slice]
 		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
 		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
-		if cap(sc.distBuf) < s.Count {
-			sc.distBuf = make([]uint32, s.Count)
+		// The append segment rides on the slice that starts the cluster
+		// (slicing always begins at 0, so exactly one task per (query,
+		// cluster) carries it); base-list tombstones filter in the TS accept
+		// pass while the physically-scanned points still charge DC/TS.
+		aLen := 0
+		if s.Start == 0 {
+			aLen = ix.AppendLen(int(t.Cluster))
 		}
-		dist := sc.distBuf[:s.Count]
+		if need := s.Count + aLen; cap(sc.distBuf) < need {
+			sc.distBuf = make([]uint32, need)
+		}
+		var qe []int32
+		var lut []uint32
 		if e.algebraic {
-			qe := g.qe[int(g.runOf[gi-gLo])*lutLen:][:lutLen]
-			bsum := e.bsum[t.Cluster][s.Start : s.Start+s.Count]
-			vecmath.ADCResidualBatch(dist, qe, codes, bsum, g.p[gi-gLo], ix.M, ix.CB)
+			qe = g.qe[int(g.runOf[gi-gLo])*lutLen:][:lutLen]
 		} else {
-			lut := g.lut[(gi-gLo)*lutLen : (gi-gLo+1)*lutLen]
-			vecmath.ADCBatchU32(dist, lut, codes, ix.M, ix.CB)
+			lut = g.lut[(gi-gLo)*lutLen : (gi-gLo+1)*lutLen]
 		}
-		e.kernelTS(ta, dist, ids, sc)
+		if s.Count > 0 {
+			dist := sc.distBuf[:s.Count]
+			if e.algebraic {
+				bsum := e.bsum[t.Cluster][s.Start : s.Start+s.Count]
+				vecmath.ADCResidualBatch(dist, qe, codes, bsum, g.p[gi-gLo], ix.M, ix.CB)
+			} else {
+				vecmath.ADCBatchU32(dist, lut, codes, ix.M, ix.CB)
+			}
+			e.kernelTS(ta, dist, ids, ix.Tombstoned(int(t.Cluster)), sc)
+		}
+		if aLen > 0 {
+			adist := sc.distBuf[:aLen]
+			acodes := ix.AppendCodes(int(t.Cluster))
+			if e.algebraic {
+				vecmath.ADCResidualBatch(adist, qe, acodes, e.asums[t.Cluster], g.p[gi-gLo], ix.M, ix.CB)
+			} else {
+				vecmath.ADCBatchU32(adist, lut, acodes, ix.M, ix.CB)
+			}
+			e.kernelTS(ta, adist, ix.AppendIDs(int(t.Cluster)), nil, sc)
+		}
 	}
 	dpu.ApplyTally(ta)
 	ta.Reset()
@@ -1406,15 +1448,30 @@ func (e *Engine) chargeLC(ta *upmem.Tally, dpu *upmem.DPU, bi int) {
 // charges the slice's DC and TS costs in bulk: locks and heap updates are
 // counted during the scan and converted to cycles once, which is exact
 // because every per-op charge is a uint64 product.
-func (e *Engine) kernelTS(ta *upmem.Tally, dist []uint32, ids []int32, sc *dpuScratch) {
+func (e *Engine) kernelTS(ta *upmem.Tally, dist []uint32, ids []int32, tomb map[int32]bool, sc *dpuScratch) {
 	h := sc.curHeap
 	bound := h.Bound()
 	var accepts uint64
-	for i, dv := range dist {
-		if bound.Accepts(ids[i], dv) {
-			h.Push(ids[i], dv)
-			bound = h.Bound()
-			accepts++
+	if tomb == nil {
+		for i, dv := range dist {
+			if bound.Accepts(ids[i], dv) {
+				h.Push(ids[i], dv)
+				bound = h.Bound()
+				accepts++
+			}
+		}
+	} else {
+		// Tombstoned base-list points are scanned (and charged) but never
+		// accepted into the heap.
+		for i, dv := range dist {
+			if tomb[ids[i]] {
+				continue
+			}
+			if bound.Accepts(ids[i], dv) {
+				h.Push(ids[i], dv)
+				bound = h.Bound()
+				accepts++
+			}
 		}
 	}
 
@@ -1493,7 +1550,14 @@ func (e *Engine) runDPUBlockRef(d int, tasks []sched.Task, gLo, gHi int) {
 		s := &e.pl.Slices[t.Slice]
 		ids := ix.Lists[t.Cluster][s.Start : s.Start+s.Count]
 		codes := ix.Codes[t.Cluster][s.Start*ix.M : (s.Start+s.Count)*ix.M]
-		e.kernelDCTSRef(dpu, lut, ids, codes, sc.curHeap, &sc.stats)
+		if s.Count > 0 {
+			e.kernelDCTSRef(dpu, lut, ids, codes, ix.Tombstoned(int(t.Cluster)), sc.curHeap, &sc.stats)
+		}
+		// Append segment: same placement rule as the batched path — it rides
+		// on the cluster-starting slice.
+		if s.Start == 0 && ix.AppendLen(int(t.Cluster)) > 0 {
+			e.kernelDCTSRef(dpu, lut, ix.AppendIDs(int(t.Cluster)), ix.AppendCodes(int(t.Cluster)), nil, sc.curHeap, &sc.stats)
+		}
 	}
 }
 
@@ -1558,7 +1622,7 @@ func (e *Engine) chargeLCRef(dpu *upmem.DPU, residual []int16) {
 // pair: per point M LUT gathers and M-1 adds (DC, Equations 8-9), then the
 // top-k update (TS, Equations 10-11) with the shared-heap lock and optional
 // lock pruning, each cost charged as it is simulated.
-func (e *Engine) kernelDCTSRef(dpu *upmem.DPU, lut []uint32, ids []int32, codes []uint16, h *topk.Heap[uint32], st *dpuRunStats) {
+func (e *Engine) kernelDCTSRef(dpu *upmem.DPU, lut []uint32, ids []int32, codes []uint16, tomb map[int32]bool, h *topk.Heap[uint32], st *dpuRunStats) {
 	ix := e.ix
 	n := len(ids)
 	m := ix.M
@@ -1566,7 +1630,7 @@ func (e *Engine) kernelDCTSRef(dpu *upmem.DPU, lut []uint32, ids []int32, codes 
 
 	for i := 0; i < n; i++ {
 		dist := vecmath.ADCU32(lut, codes[i*m:(i+1)*m], ix.CB)
-		accept := h.WouldAccept(ids[i], dist)
+		accept := (tomb == nil || !tomb[ids[i]]) && h.WouldAccept(ids[i], dist)
 		switch {
 		case e.opts.UseBitonicTS:
 			// Lock-free network: no shared queue, costs charged in bulk

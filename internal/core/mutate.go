@@ -1,0 +1,144 @@
+// Live mutability on the engine: Insert/Delete maintain the index's
+// append-segment/tombstone overlay (ivf/mutable.go) together with the
+// engine-side state derived from cluster contents — the algebraic per-point
+// decomposition terms (asums) and the placement's reachability of
+// previously-empty clusters — and Compact folds everything back into the
+// packed layout, re-running the layout optimizer with the inputs New
+// resolved so the result is bit-identical to a freshly deployed engine over
+// the same logical corpus.
+//
+// Mutations are NOT safe concurrently with SearchBatch or with each other;
+// the serving layers serialize them at launch boundaries (serve.Server
+// executes them on the batcher goroutine between launches). Replica engines
+// share ix/pl/bsum/asums with their source, so a mutation through any one
+// engine is visible to all — which is also why every replica's batcher must
+// be quiesced first.
+
+package core
+
+import (
+	"fmt"
+
+	"drimann/internal/dataset"
+	"drimann/internal/layout"
+)
+
+// Insert adds vecs[i] under ids[i]: each point is assigned to its nearest
+// centroid (bit-identically to index build), PQ-encoded with the frozen
+// codebooks, and appended to that cluster's segment, immediately visible to
+// the next launch. Ids must be non-negative and not currently live (delete
+// first to replace).
+func (e *Engine) Insert(vecs dataset.U8Set, ids []int32) error {
+	if vecs.N != len(ids) {
+		return fmt.Errorf("core: %d vectors for %d ids", vecs.N, len(ids))
+	}
+	if vecs.N > 0 && vecs.D != e.ix.Dim {
+		return fmt.Errorf("core: insert dim %d, index dim %d", vecs.D, e.ix.Dim)
+	}
+	ix := e.ix
+	for i := 0; i < vecs.N; i++ {
+		c, err := ix.Insert(ids[i], vecs.Vec(i))
+		if err != nil {
+			return err
+		}
+		if e.algebraic {
+			codes := ix.AppendCodes(int(c))
+			n := len(codes) / ix.M
+			var sum [1]int32
+			e.lut.ClusterADCSums(int(c), codes[(n-1)*ix.M:], sum[:])
+			e.asums[c] = append(e.asums[c], sum[0])
+		}
+		e.ensureReachable(c)
+	}
+	return nil
+}
+
+// Delete removes ids from the logical corpus: base-list points are
+// tombstoned (filtered by the TS accept pass until Compact), append-segment
+// points are removed outright.
+func (e *Engine) Delete(ids []int32) error {
+	for _, id := range ids {
+		c, pos, err := e.ix.Delete(id)
+		if err != nil {
+			return err
+		}
+		if pos >= 0 && e.algebraic {
+			a := e.asums[c]
+			e.asums[c] = append(a[:pos], a[pos+1:]...)
+		}
+	}
+	return nil
+}
+
+// ensureReachable gives cluster c a placement slice when the build-time
+// layout skipped it (empty base list produces no slices): the scheduler
+// expands probe requests through Placement.ByCluster, so without one a
+// probed cluster generates no task and its append segment would be silently
+// unscannable. The injected slice covers zero base points (the append
+// segment rides on any Start==0 slice) and is placed on the least-loaded
+// DPU; Compact discards it with the rest of the placement.
+func (e *Engine) ensureReachable(c int32) {
+	pl := e.pl
+	if len(pl.ByCluster[c]) > 0 {
+		return
+	}
+	d := 0
+	for i := 1; i < pl.NumDPUs; i++ {
+		if pl.DPUBytes[i] < pl.DPUBytes[d] {
+			d = i
+		}
+	}
+	id := len(pl.Slices)
+	pl.Slices = append(pl.Slices, layout.Slice{ID: id, Cluster: c, Start: 0, Count: 0, DPUs: []int{d}})
+	pl.ByCluster[c] = append(pl.ByCluster[c], id)
+}
+
+// Compact folds append segments and tombstones back into the packed
+// inverted lists and re-optimizes the data layout over the post-fold
+// cluster sizes with the exact heat profile and configuration New resolved.
+// From the next launch on, results are bit-identical to a freshly built
+// engine over the same logical corpus. (The simulated MRAM image still
+// reflects the deployment-time allocation — compaction is modeled as a
+// host-side reorganization, and per-launch costs derive from the placement
+// and scans, not from the allocation bookkeeping.)
+func (e *Engine) Compact() error { return e.compact(nil) }
+
+// CompactRemap is Compact with a simultaneous id relabeling (live id x
+// becomes remap[x]); the sharded layer uses it to renumber shard-local ids
+// back into the dense monotone space its global-id remap tables require.
+func (e *Engine) CompactRemap(remap []int32) error { return e.compact(remap) }
+
+func (e *Engine) compact(remap []int32) error {
+	ix := e.ix
+	dirty, err := ix.CompactRemap(remap)
+	if err != nil {
+		return err
+	}
+	if len(dirty) == 0 && remap == nil {
+		return nil
+	}
+	sizes := make([]int, ix.NList)
+	for c := range sizes {
+		sizes[c] = ix.ListLen(c)
+	}
+	pl, err := layout.Optimize(sizes, e.freq, e.lcfg)
+	if err != nil {
+		return fmt.Errorf("core: post-compaction layout: %w", err)
+	}
+	if err := pl.Validate(sizes); err != nil {
+		return fmt.Errorf("core: post-compaction layout invariants: %w", err)
+	}
+	// In-place assignment: replicas share the Placement pointer, so the new
+	// layout (like the rebuilt lists) is visible to every engine at once.
+	*e.pl = *pl
+	if e.algebraic {
+		for _, c := range dirty {
+			codes := ix.Codes[c]
+			sums := make([]int32, len(codes)/ix.M)
+			e.lut.ClusterADCSums(int(c), codes, sums)
+			e.bsum[c] = sums
+			e.asums[c] = e.asums[c][:0]
+		}
+	}
+	return nil
+}

@@ -32,6 +32,12 @@ func NewReplica(src *Engine) (*Engine, error) {
 		lut:       src.lut,
 		algebraic: src.algebraic,
 		bsum:      src.bsum,
+		// Mutation state is shared too: asums' outer array is written
+		// element-wise (never reallocated), and freq/lcfg let Compact re-run
+		// the layout from any engine of the deployment with identical inputs.
+		asums: src.asums,
+		freq:  src.freq,
+		lcfg:  src.lcfg,
 	}
 	if src.sqt16 != nil {
 		e.sqt16 = newSQT16Tables(e.opts)
@@ -70,6 +76,12 @@ func (e *Engine) MemoryFootprint() MemoryFootprint {
 		shared += int64(len(ix.Lists[c]))*4 + int64(len(ix.Codes[c]))*2
 	}
 	for _, s := range e.bsum {
+		shared += int64(len(s)) * 4
+	}
+	// Live mutation overlay: append segments + tombstones, plus their
+	// per-point decomposition terms. Zero once compacted.
+	shared += ix.MutationBytes()
+	for _, s := range e.asums {
 		shared += int64(len(s)) * 4
 	}
 

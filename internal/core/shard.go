@@ -73,6 +73,12 @@ func MergeShardTopK(k int, parts [][]topk.Item[uint32]) ([]int32, []topk.Item[ui
 	for i, it := range items {
 		ids[i] = it.ID
 	}
+	if len(items) == 0 {
+		// Zero-fanout convention: match the single engine exactly, which
+		// returns non-nil empty IDs and nil Items for a query with no
+		// candidates (e.g. every probed cluster empty).
+		items = nil
+	}
 	return ids, items
 }
 

@@ -71,6 +71,11 @@ type Index struct {
 	Codes [][]uint16
 
 	SQT *sqt.SQT8
+
+	// mut is the live-mutation overlay (append segments + tombstones),
+	// nil until the first Insert/Delete and after every Compact. See
+	// mutable.go.
+	mut *mutState
 }
 
 // Build trains the coarse quantizer and PQ codebooks and encodes the corpus.
@@ -353,8 +358,20 @@ func (ix *Index) Search(query []uint8, nprobe, k int) []topk.Item[float32] {
 		ix.PQ.LUT(lc, lut) // LC
 		ids := ix.Lists[c]
 		codes := ix.Codes[c]
+		tomb := ix.Tombstoned(c)
 		for i, id := range ids { // DC + TS
+			if tomb != nil && tomb[id] {
+				continue
+			}
 			d := vecmath.ADCF32(lut, codes[i*ix.M:(i+1)*ix.M], ix.CB)
+			if h.WouldAccept(id, d) {
+				h.Push(id, d)
+			}
+		}
+		aids := ix.AppendIDs(c)
+		acodes := ix.AppendCodes(c)
+		for i, id := range aids { // append segment (never tombstoned)
+			d := vecmath.ADCF32(lut, acodes[i*ix.M:(i+1)*ix.M], ix.CB)
 			if h.WouldAccept(id, d) {
 				h.Push(id, d)
 			}
@@ -376,8 +393,20 @@ func (ix *Index) SearchInt(query []uint8, nprobe, k int) []topk.Item[uint32] {
 		ix.IntCB.LUTInt(res, lut, ix.SQT)            // LC (multiplier-less)
 		ids := ix.Lists[c]
 		codes := ix.Codes[c]
+		tomb := ix.Tombstoned(c)
 		for i, id := range ids { // DC + TS
+			if tomb != nil && tomb[id] {
+				continue
+			}
 			d := vecmath.ADCU32(lut, codes[i*ix.M:(i+1)*ix.M], ix.CB)
+			if h.WouldAccept(id, d) {
+				h.Push(id, d)
+			}
+		}
+		aids := ix.AppendIDs(c)
+		acodes := ix.AppendCodes(c)
+		for i, id := range aids { // append segment (never tombstoned)
+			d := vecmath.ADCU32(lut, acodes[i*ix.M:(i+1)*ix.M], ix.CB)
 			if h.WouldAccept(id, d) {
 				h.Push(id, d)
 			}

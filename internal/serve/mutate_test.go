@@ -1,0 +1,128 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drimann/internal/dataset"
+	"drimann/internal/serve"
+)
+
+// TestServeMutateUnderTraffic races Insert/Delete/Compact against
+// concurrent Search traffic on one server under -race. Exclusive runs the
+// mutation on the batcher goroutine between launches, so the engine state
+// that launches read is never touched mid-launch (the race detector is the
+// referee), and the batch-boundary semantics are observable: a point is
+// findable by the first search issued after Insert returns and absent after
+// Delete returns. The query vectors double as the insert pool (they are
+// valid corpus-shaped points the index has never held).
+func TestServeMutateUnderTraffic(t *testing.T) {
+	eng, s := testEngine(t, 4000, 64)
+	srv, err := serve.New(eng, serve.Options{
+		MaxBatch: 8,
+		MaxWait:  100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 6151))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qi := rng.Intn(32) // queries 32.. are the insert pool
+				resp, err := srv.Search(context.Background(), s.Queries.Vec(qi), 0)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if len(resp.IDs) != len(resp.Items) {
+					t.Errorf("torn response: %d ids, %d items", len(resp.IDs), len(resp.Items))
+					return
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+
+	find := func(id int32, vec []uint8) bool {
+		resp, err := srv.Search(context.Background(), vec, 0)
+		if err != nil {
+			t.Fatalf("probe search: %v", err)
+		}
+		return slices.Contains(resp.IDs, id)
+	}
+	for round := 0; round < 10; round++ {
+		id := int32(s.Base.N + round)
+		vec := s.Queries.Vec(32 + round)
+		one := dataset.U8Set{N: 1, D: s.Queries.D, Data: vec}
+		if err := srv.Insert(one, []int32{id}); err != nil {
+			t.Fatal(err)
+		}
+		if !find(id, vec) {
+			t.Fatalf("round %d: inserted point %d not findable after Insert returned", round, id)
+		}
+		if round%2 == 0 {
+			if err := srv.Delete([]int32{id}); err != nil {
+				t.Fatal(err)
+			}
+			if find(id, vec) {
+				t.Fatalf("round %d: deleted point %d still findable after Delete returned", round, id)
+			}
+		}
+		if round%3 == 2 {
+			if err := srv.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no background traffic was served")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExclusiveContract pins Exclusive's error semantics: fn's error comes
+// back to the caller, and a closed server refuses with ErrClosed without
+// running fn.
+func TestExclusiveContract(t *testing.T) {
+	eng, _ := testEngine(t, 2000, 8)
+	srv, err := serve.New(eng, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if got := srv.Exclusive(func() error { return boom }); !errors.Is(got, boom) {
+		t.Fatalf("Exclusive returned %v, want fn's error", got)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if got := srv.Exclusive(func() error { ran = true; return nil }); !errors.Is(got, serve.ErrClosed) {
+		t.Fatalf("Exclusive on closed server returned %v, want ErrClosed", got)
+	}
+	if ran {
+		t.Fatal("Exclusive ran fn on a closed server")
+	}
+}

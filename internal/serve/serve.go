@@ -145,6 +145,13 @@ type reply struct {
 	err  error
 }
 
+// mutation is a unit of work the batcher runs between launches on behalf of
+// Exclusive; done (buffered 1) carries fn's error back to the caller.
+type mutation struct {
+	fn   func() error
+	done chan error
+}
+
 type request struct {
 	ctx   context.Context
 	q     []uint8
@@ -168,6 +175,10 @@ type Server struct {
 	opt Options
 
 	pending chan *request
+	// mutate is the Exclusive hand-off: unbuffered, so a mutation is only
+	// accepted when the batcher is parked in its select — between launches,
+	// never during one.
+	mutate chan *mutation
 
 	// admission guards the closed flag against in-flight sends: Search
 	// holds it in read mode across its queue send, Close takes it in write
@@ -216,6 +227,7 @@ func New(eng *core.Engine, opt Options) (*Server, error) {
 		eng:      eng,
 		opt:      opt,
 		pending:  make(chan *request, opt.QueueLimit),
+		mutate:   make(chan *mutation),
 		closeCh:  make(chan struct{}),
 		loopDone: make(chan struct{}),
 		est:      opt.ServiceTimeGuess,
@@ -338,6 +350,49 @@ func (s *Server) search(ctx context.Context, q []uint8, k int, copyQ bool, probe
 	}
 }
 
+// Exclusive runs fn on the batcher goroutine, between launches: when fn
+// executes, no engine launch is in flight on this server and none starts
+// until fn returns. This is the serialization point for live index
+// mutations — the engine's Insert/Delete/Compact are not safe concurrently
+// with SearchBatch, and running them here needs no locking on the query hot
+// path. Exclusive blocks until fn has run (waiting out an in-flight launch
+// first) and returns fn's error, or ErrClosed if the server closed before
+// fn was accepted. Queries admitted before the call are answered before fn
+// runs or after it — never during.
+func (s *Server) Exclusive(fn func() error) error {
+	m := &mutation{fn: fn, done: make(chan error, 1)}
+	// Same admission discipline as search: holding the read lock across the
+	// send means Close (write lock) cannot seal admission mid-send, so the
+	// batcher is still consuming and the send always completes.
+	s.admission.RLock()
+	if s.closed {
+		s.admission.RUnlock()
+		return ErrClosed
+	}
+	s.mutate <- m
+	s.admission.RUnlock()
+	return <-m.done
+}
+
+// Insert routes Engine.Insert through Exclusive: the new points are
+// PQ-encoded into their clusters' append segments between launches and are
+// visible to every query batched after the call returns.
+func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
+	return s.Exclusive(func() error { return s.eng.Insert(vecs, ids) })
+}
+
+// Delete routes Engine.Delete through Exclusive; the ids are gone from
+// every query batched after the call returns.
+func (s *Server) Delete(ids []int32) error {
+	return s.Exclusive(func() error { return s.eng.Delete(ids) })
+}
+
+// Compact routes Engine.Compact through Exclusive, folding the mutation
+// overlay back into the packed layout between launches.
+func (s *Server) Compact() error {
+	return s.Exclusive(func() error { return s.eng.Compact() })
+}
+
 // Close seals admission, waits for every already-admitted request to be
 // answered, and stops the batcher. Safe to call multiple times and
 // concurrently; later calls wait for the first to finish draining.
@@ -429,7 +484,12 @@ func (s *Server) loop() {
 		case first := <-s.pending:
 			s.queueDepth.Add(-1)
 			s.launch(s.collect(first, timer))
+		case m := <-s.mutate:
+			m.done <- m.fn()
 		case <-s.closeCh:
+			// Exclusive holds the admission read lock across its send, so once
+			// closeCh is closed no mutation can still be in flight: drain only
+			// has queries to answer.
 			s.drain()
 			return
 		}
