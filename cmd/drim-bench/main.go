@@ -76,6 +76,18 @@
 //
 //	drim-bench -mutate
 //	drim-bench -mutate -n 200000 -benchruns 5
+//
+// Recovery mode (-recovery) prices the durability layer against the real
+// filesystem: ~1% of the base count is mutated through the
+// apply-then-WAL-log path twice over identical engines — fsync at every
+// batch boundary vs fsync off, recording what the sync costs in
+// acknowledged mutations/s — then the synced engine is killed, Recover is
+// timed, and the recovered results are verified bit-identical to the
+// killed engine's. One mode:"recovery" entry records the sync/no-sync
+// mutation throughputs, WAL bytes replayed and the recovery wall clock:
+//
+//	drim-bench -recovery
+//	drim-bench -recovery -n 200000 -benchruns 5
 package main
 
 import (
@@ -104,6 +116,7 @@ func main() {
 		benchNote  = flag.String("benchnote", "", "free-form note stored in the entries recorded by -bench/-serve")
 		serveBench = flag.Bool("serve", false, "closed-loop load-generator benchmark over the online serving layer")
 		mutate     = flag.Bool("mutate", false, "live-mutability benchmark: QPS with 1%/10% live appends vs the compacted baseline")
+		recovery   = flag.Bool("recovery", false, "durability benchmark: WAL fsync overhead, recovery wall clock, bit-identical restart")
 		shards     = flag.Int("shards", 0, "cluster mode: scatter-gather benchmark over this many shard engines (-dpus is per shard)")
 		assignFlag = flag.String("assign", "hash", "-shards: partitioning policy (hash or kmeans)")
 		replicas   = flag.Int("replicas", 0, "replica mode: hedged-vs-unhedged tail benchmark over this many replicas per shard (default 2 shards; -shards overrides)")
@@ -151,6 +164,18 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runMutateBench(*n, *queries, *dpus, *seed, *benchRuns, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *recovery {
+		if *selfBench || *serveBench || *mutate || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -recovery excludes -bench/-serve/-mutate/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runRecoveryBench(*n, *queries, *dpus, *seed, *benchRuns, *benchNote, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
 			os.Exit(1)
 		}

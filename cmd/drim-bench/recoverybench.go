@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"time"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/durable"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+// runRecoveryBench is the -recovery mode: it prices the durability layer.
+// The same SIFT-shaped fixture as -bench is built and checkpointed into a
+// real on-disk store, then ~1% of the base count is mutated through the
+// apply-then-log path (batched inserts plus a delete pass) twice over
+// identical fresh engines — once with the WAL fsynced at every batch
+// boundary, once with fsync off — so the entry records what the sync
+// actually costs in acknowledged mutations/s. The synced engine is then
+// killed (dropped; only its directory survives), Recover is timed, and the
+// recovered engine's results are verified bit-identical to the killed
+// engine's over the full query set — the recovery contract, checked at
+// benchmark scale against the real filesystem. One mode:"recovery" entry
+// lands in the trajectory file.
+func runRecoveryBench(n, queries, dpus int, seed int64, runs int, note, outPath string) error {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	if dpus <= 0 {
+		dpus = core.DefaultOptions().NumDPUs
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	inserts := n / 100
+	if inserts < 64 {
+		inserts = 64
+	}
+
+	fmt.Printf("drim-bench recovery benchmark: N=%d queries=%d DPUs=%d runs=%d mutations=~%d\n",
+		n, queries, dpus, runs, inserts+inserts/8)
+	s := dataset.SIFT(n+inserts, queries, seed)
+	base := dataset.U8Set{N: n, D: s.Base.D, Data: s.Base.Data[:n*s.Base.D]}
+	t0 := time.Now()
+	ix, err := ivf.Build(base, ivf.BuildConfig{
+		NList:       1024,
+		PQ:          pq.Config{M: 16, CB: 256},
+		KMeansIters: 4,
+		TrainSample: 8000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  index built in %.1fs\n", time.Since(t0).Seconds())
+
+	opts := core.DefaultOptions()
+	opts.NumDPUs = dpus
+
+	// Engine mutations write through to the index, so each policy run
+	// needs a fresh copy; reload from serialized bytes instead of
+	// re-building.
+	var img bytes.Buffer
+	if err := ix.Save(&img); err != nil {
+		return err
+	}
+	newEngine := func() (*core.Engine, error) {
+		fx, err := ivf.Load(bytes.NewReader(img.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		return core.New(fx, s.Queries, opts)
+	}
+
+	// The workload: batched inserts of the reserve ids, then a delete
+	// pass over every 8th of them — each batch applied to the engine and
+	// logged as one WAL record, exactly what the serving layer does.
+	// Returns the mutated point count.
+	const batchN = 64
+	workload := func(eng *core.Engine, st *durable.Store) (int, error) {
+		muts := 0
+		for lo := 0; lo < inserts; lo += batchN {
+			hi := lo + batchN
+			if hi > inserts {
+				hi = inserts
+			}
+			vecs := dataset.U8Set{
+				N: hi - lo, D: s.Base.D,
+				Data: s.Base.Data[(n+lo)*s.Base.D : (n+hi)*s.Base.D],
+			}
+			ids := make([]int32, hi-lo)
+			for i := range ids {
+				ids[i] = int32(n + lo + i)
+			}
+			if err := eng.Insert(vecs, ids); err != nil {
+				return 0, err
+			}
+			rec, err := durable.EncodeInsert(ids, s.Base.D, vecs.Data)
+			if err != nil {
+				return 0, err
+			}
+			if err := st.Append(rec); err != nil {
+				return 0, err
+			}
+			if err := st.BatchEnd(); err != nil {
+				return 0, err
+			}
+			muts += hi - lo
+		}
+		var dels []int32
+		for id := 0; id < inserts; id += 8 {
+			dels = append(dels, int32(n+id))
+			if len(dels) == batchN {
+				if err := applyDelete(eng, st, dels); err != nil {
+					return 0, err
+				}
+				muts += len(dels)
+				dels = dels[:0]
+			}
+		}
+		if len(dels) > 0 {
+			if err := applyDelete(eng, st, dels); err != nil {
+				return 0, err
+			}
+			muts += len(dels)
+		}
+		return muts, nil
+	}
+
+	root, err := os.MkdirTemp("", "drim-recovery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Same workload, two fsync policies: the ratio is the price of
+	// calling fsync at every batch boundary on this filesystem.
+	type polRun struct {
+		name   string
+		policy durable.SyncPolicy
+		qps    float64
+		muts   int
+		eng    *core.Engine
+		st     *durable.Store
+		dir    string
+	}
+	runsOut := []*polRun{
+		{name: "fsync every batch", policy: durable.SyncEveryBatch},
+		{name: "fsync off", policy: durable.SyncNever},
+	}
+	for _, pr := range runsOut {
+		eng, err := newEngine()
+		if err != nil {
+			return err
+		}
+		pr.dir = filepath.Join(root, fmt.Sprintf("store-%d", pr.policy))
+		st, err := eng.CreateStore(durable.Options{Dir: pr.dir, Policy: pr.policy})
+		if err != nil {
+			return err
+		}
+		t := time.Now()
+		muts, err := workload(eng, st)
+		if err != nil {
+			return err
+		}
+		sec := time.Since(t).Seconds()
+		pr.qps, pr.muts, pr.eng, pr.st = float64(muts)/sec, muts, eng, st
+		fmt.Printf("  %-17s %d mutations in %.3fs (%.0f muts/s acknowledged)\n",
+			pr.name+":", muts, sec, pr.qps)
+	}
+	synced, unsynced := runsOut[0], runsOut[1]
+	fmt.Printf("  fsync overhead: %.2fx\n", unsynced.qps/synced.qps)
+	if err := unsynced.st.Close(); err != nil {
+		return err
+	}
+
+	// Kill the synced engine: the reference answers are taken first, then
+	// only its directory survives.
+	want, err := synced.eng.SearchBatch(s.Queries)
+	if err != nil {
+		return err
+	}
+	var walBytes int64
+	if fi, err := os.Stat(filepath.Join(synced.dir, synced.st.Manifest().WAL)); err == nil {
+		walBytes = fi.Size()
+	}
+	if err := synced.st.Close(); err != nil {
+		return err
+	}
+	synced.eng = nil
+
+	t := time.Now()
+	recovered, rst, err := core.Recover(durable.Options{Dir: synced.dir, Policy: durable.SyncEveryBatch}, s.Queries, opts)
+	if err != nil {
+		return fmt.Errorf("recovery benchmark: %w", err)
+	}
+	recoverSec := time.Since(t).Seconds()
+	defer rst.Close()
+	fmt.Printf("  recovered in %.3fs (%d WAL bytes replayed)\n", recoverSec, walBytes)
+
+	// The recovery contract at benchmark scale: bit-identical answers to
+	// the killed engine over every query.
+	bestSec := -1.0
+	var res *core.Result
+	for r := 0; r < runs; r++ {
+		t := time.Now()
+		rr, err := recovered.SearchBatch(s.Queries)
+		if err != nil {
+			return err
+		}
+		if sec := time.Since(t).Seconds(); bestSec < 0 || sec < bestSec {
+			bestSec, res = sec, rr
+		}
+	}
+	for qi := range want.IDs {
+		if !slices.Equal(res.IDs[qi], want.IDs[qi]) || !slices.Equal(res.Items[qi], want.Items[qi]) {
+			return fmt.Errorf("recovery benchmark: query %d diverges after recovery (answers must be bit-identical to the killed engine)", qi)
+		}
+	}
+	fmt.Printf("  recovered engine: %.3fs (%.0f QPS wall), results bit-identical to the killed engine\n",
+		bestSec, float64(queries)/bestSec)
+
+	var trajectory []benchEntry
+	raw, err := os.ReadFile(outPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", outPath, err)
+		}
+	case !os.IsNotExist(err):
+		return fmt.Errorf("reading %s: %w", outPath, err)
+	}
+
+	entry := benchEntry{
+		Note:       note,
+		Mode:       "recovery",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N:          n, D: s.Base.D, Queries: queries, Runs: runs,
+		DPUs:           dpus,
+		MutCount:       synced.muts,
+		WALBytes:       walBytes,
+		SyncedMutQPS:   synced.qps,
+		UnsyncedMutQPS: unsynced.qps,
+		RecoverSec:     recoverSec,
+		WallQPS:        float64(queries) / bestSec,
+		SimQPS:         res.Metrics.QPS,
+	}
+	if prev := lastComparable(trajectory, entry); prev != nil && recoverSec > 0 {
+		entry.SpeedupVsPrev = prev.RecoverSec / recoverSec
+		fmt.Printf("  vs previous recovery entry (%s): %.2fx\n", prev.Timestamp, entry.SpeedupVsPrev)
+	}
+	trajectory = append(trajectory, entry)
+
+	raw, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded recovery entry in %s (total %d)\n", outPath, len(trajectory))
+	return nil
+}
+
+// applyDelete applies one delete batch to the engine and logs it, the
+// apply-then-log discipline of the serving layer.
+func applyDelete(eng *core.Engine, st *durable.Store, ids []int32) error {
+	if err := eng.Delete(ids); err != nil {
+		return err
+	}
+	if err := st.Append(durable.EncodeDelete(ids)); err != nil {
+		return err
+	}
+	return st.BatchEnd()
+}

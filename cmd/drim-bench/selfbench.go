@@ -163,6 +163,24 @@ type benchEntry struct {
 	OverlayQPS   float64 `json:"overlay_qps,omitempty"`
 	CompactedSec float64 `json:"compacted_seconds,omitempty"`
 	CompactedQPS float64 `json:"compacted_qps,omitempty"`
+
+	// Recovery-mode fields (mode == "recovery"): the -recovery durability
+	// benchmark. MutCount is the number of mutated points (inserts plus
+	// deletes) applied and WAL-logged before the kill; WALBytes the log's
+	// size at the kill point. SyncedMutQPS and UnsyncedMutQPS are
+	// acknowledged mutations/s over the identical workload under
+	// fsync-every-batch vs fsync-off — their ratio prices the sync.
+	// RecoverSec is the wall clock of Recover (redeploy the checkpoint,
+	// replay the WAL tail), after which the recovered engine's results are
+	// verified bit-identical to the killed engine's; for recovery entries
+	// WallQPS/SimQPS measure the recovered engine's offline batch and
+	// SpeedupVsPrev is the previous comparable entry's recover_seconds
+	// over this one (>1 = faster recovery).
+	MutCount       int     `json:"mut_count,omitempty"`
+	WALBytes       int64   `json:"wal_bytes,omitempty"`
+	SyncedMutQPS   float64 `json:"synced_mut_qps,omitempty"`
+	UnsyncedMutQPS float64 `json:"unsynced_mut_qps,omitempty"`
+	RecoverSec     float64 `json:"recover_seconds,omitempty"`
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -386,6 +404,10 @@ func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 			}
 		case "mutate":
 			if p.AppendFrac == e.AppendFrac && p.OverlayQPS > 0 {
+				return p
+			}
+		case "recovery":
+			if p.MutCount == e.MutCount && p.RecoverSec > 0 {
 				return p
 			}
 		default:

@@ -23,7 +23,9 @@ func TestLastComparableModeIsolation(t *testing.T) {
 	rep22 := shape(benchEntry{Timestamp: "t5", Mode: "replica", Shards: 2, Replicas: 2,
 		Assignment: "hash", Clients: 8, StragglerDelayMS: 75, StragglerEvery: 4,
 		HedgedP99MS: 3.0})
-	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km, rep22}
+	rec := shape(benchEntry{Timestamp: "t6", Mode: "recovery", MutCount: 1125,
+		RecoverSec: 0.8})
+	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km, rep22, rec}
 
 	cases := []struct {
 		name string
@@ -57,6 +59,12 @@ func TestLastComparableModeIsolation(t *testing.T) {
 		{"replica never matches cluster", shape(benchEntry{Mode: "replica",
 			Shards: 2, Replicas: 0, Assignment: "hash", Clients: 0,
 			HedgedP99MS: 2.0}), ""},
+		{"recovery matches same mutation count", shape(benchEntry{Mode: "recovery",
+			MutCount: 1125, RecoverSec: 0.5}), "t6"},
+		{"recovery mutation count isolates", shape(benchEntry{Mode: "recovery",
+			MutCount: 2250, RecoverSec: 0.5}), ""},
+		{"recovery never matches bench", shape(benchEntry{Mode: "recovery",
+			MutCount: 0, RecoverSec: 0.5}), ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -179,6 +179,45 @@
 // appended points) against the compacted baseline as mode:"mutate" entries
 // in BENCH_core.json.
 //
+// # Durability and recovery
+//
+// Everything above lives in memory; the durability layer
+// (internal/durable) makes the mutable serving state survive a kill at
+// any instant. A DurableStore owns one directory holding a checkpointed
+// snapshot (the index with its live mutation overlay, in a checksummed
+// section format written via temp-file + fsync + atomic rename), a
+// length-framed CRC-per-record write-ahead log of mutations, and a
+// manifest binding the {snapshot, WAL} pair so recovery can never mix
+// generations. Attach a store to a server through
+// ServerOptions.Durability: every Server.Insert/Delete then applies the
+// mutation and appends one WAL record for exactly the applied points at
+// the batch boundary — acknowledged means WAL-synced under the
+// configured SyncPolicy (per record, per batch, or off), and a batch
+// that fails part-way logs its applied prefix so the log always
+// reproduces acknowledged engine state. Server.Compact checkpoints and
+// rotates the log; Server.Checkpoint rotates without compacting.
+//
+// Recover rebuilds an engine from a store directory: it redeploys over
+// the checkpoint's base lists exactly as NewEngine did (checkpoints are
+// only written where base lists equal a deploy-time state, and the
+// layout optimizer is deterministic), restores the snapshot's overlay
+// byte-for-byte, replays the WAL tail through the normal mutation path
+// with the frozen quantizers, and rotates to a fresh generation —
+// discarding any torn tail. The recovered engine serves bit-identical
+// results and reports identical memory stats to the never-crashed
+// engine over the same acknowledged mutations; torn or bit-flipped
+// records and snapshot sections are detected by checksum, never
+// silently served. CreateClusterStore/RecoverCluster extend the same
+// contract to a sharded fleet: one store per shard plus an immutable
+// assignment sidecar, WAL records carrying global IDs logged to the
+// owning shard, and recovery that restores tables, owner maps and
+// per-shard engines bit-identically for any S and either assignment
+// policy. Crash-point matrices (a simulated filesystem that kills the
+// machine at every mutating operation, torn writes included) pin all of
+// this at the store, engine, serve and cluster layers, and
+// `drim-bench -recovery` measures WAL overhead and recovery wall time
+// into mode:"recovery" entries.
+//
 // Quick start:
 //
 //	corpus := drimann.SIFT(100000, 1000, 1) // synthetic SIFT-shaped data
@@ -196,6 +235,7 @@ import (
 	"drimann/internal/cluster"
 	"drimann/internal/core"
 	"drimann/internal/dataset"
+	"drimann/internal/durable"
 	"drimann/internal/ivf"
 	"drimann/internal/pq"
 	"drimann/internal/serve"
@@ -338,6 +378,46 @@ func LatencyPercentile(sorted []time.Duration, p float64) time.Duration {
 	return serve.LatencyPercentile(sorted, p)
 }
 
+// DurableStore is one engine's durability directory: a checksummed
+// checkpoint snapshot, a CRC-per-record mutation WAL, and the manifest
+// binding them. See the "Durability and recovery" section of the package
+// documentation.
+type DurableStore = durable.Store
+
+// DurableOptions locates a store (directory, fsync policy, filesystem
+// seam — leave FS nil for the real OS).
+type DurableOptions = durable.Options
+
+// SyncPolicy selects when the mutation WAL is fsynced.
+type SyncPolicy = durable.SyncPolicy
+
+// WAL fsync policies: SyncEveryBatch (the default) syncs once per
+// mutation batch, SyncEveryRecord after every record, SyncNever leaves
+// durability to the OS.
+const (
+	SyncEveryBatch  = durable.SyncEveryBatch
+	SyncEveryRecord = durable.SyncEveryRecord
+	SyncNever       = durable.SyncNever
+)
+
+// CreateStore initializes a durability directory for eng, checkpointing
+// its current state as the first snapshot. Attach the returned store via
+// ServerOptions.Durability to make server mutations durable, or drive
+// it directly (Append/BatchEnd/Checkpoint) as the serving layer does.
+func CreateStore(eng *Engine, opt DurableOptions) (*DurableStore, error) {
+	return eng.CreateStore(opt)
+}
+
+// Recover rebuilds an engine from a durability directory: redeploy the
+// checkpoint snapshot, replay the WAL tail through the normal mutation
+// path, rotate to a fresh generation. The recovered engine serves
+// bit-identical results to the never-crashed engine over the same
+// acknowledged mutations. The profile workload and opts must match the
+// original deployment's for the layout to reproduce.
+func Recover(opt DurableOptions, profile Vectors, opts EngineOptions) (*Engine, *DurableStore, error) {
+	return core.Recover(opt, profile, opts)
+}
+
 // Cluster is the scatter-gather sharding layer: a corpus partitioned across
 // S independent engines behind one batch front. See the "Sharded serving"
 // section of the package documentation.
@@ -437,6 +517,29 @@ func NewClusterServer(cl *Cluster, opt ServerOptions) (*ClusterServer, error) {
 // options (hedging policy, breaker thresholds, the replica wrap hook).
 func NewClusterServerRouted(cl *Cluster, opt ServerOptions, route ClusterRouteOptions) (*ClusterServer, error) {
 	return cluster.NewServerRouted(cl, opt, route)
+}
+
+// FleetStore is a sharded deployment's durability directory: one
+// DurableStore per shard plus the immutable shard-assignment sidecar.
+type FleetStore = cluster.FleetStore
+
+// CreateClusterStore initializes a fleet durability directory for cl and
+// attaches it: every subsequent Cluster.Insert/Delete is WAL-logged on
+// the owning shard, and Compact checkpoints and rotates every shard's
+// log. One directory, one fleet.
+func CreateClusterStore(cl *Cluster, opt DurableOptions) (*FleetStore, error) {
+	return cluster.CreateFleetStore(cl, opt)
+}
+
+// RecoverCluster rebuilds a sharded fleet from a fleet durability
+// directory, replaying each shard's WAL tail independently. The
+// recovered fleet serves bit-identical merged results — and identical
+// tables, owner maps, and memory stats — to the never-crashed fleet
+// over the same acknowledged mutations. copt must match the original
+// deployment (shard count, assignment policy, engine options); the
+// profile workload drives per-shard layout heat as in NewCluster.
+func RecoverCluster(opt DurableOptions, profile Vectors, copt ClusterOptions) (*Cluster, *FleetStore, error) {
+	return cluster.RecoverCluster(opt, profile, copt)
 }
 
 // GroundTruth computes exact top-k neighbors by parallel brute force.

@@ -183,6 +183,11 @@ type Cluster struct {
 	// esc is the encode scratch for front-door insert assignment; guarded
 	// by mu.
 	esc *ivf.EncodeScratch
+	// fstore, when attached (CreateFleetStore / RecoverCluster), makes
+	// every mutation durable: Insert/Delete log applied sub-batches to
+	// the owning shards' WALs before acknowledging, Compact checkpoints
+	// every shard. Guarded by mu.
+	fstore *FleetStore
 }
 
 // RouteStats aggregates the selective-scatter routing behavior of every

@@ -1,0 +1,565 @@
+// Fleet durability: a FleetStore gives a sharded Cluster the same crash
+// contract the single-engine serving stack gets from durable.Store —
+// every acknowledged mutation survives a kill at any instant, and
+// RecoverCluster restarts the fleet bit-identically (search results,
+// memory stats, owner maps, remap tables).
+//
+// Layout: one fleet directory holding an immutable ASSIGN sidecar plus
+// one durable.Store per shard under shard-%03d/. The sidecar freezes
+// the partitioning decision — assignment policy, shard count, and the
+// cluster→shard map under AssignKMeans — because the map was computed
+// from the original full index and profile heat, which no longer exist
+// at recovery time. Each shard's snapshot carries its local→global ID
+// table (stale entries for deleted points and all — replay computes
+// local ids as table length, so the table must round-trip exactly), the
+// shard's owner-map rows (a live insert into a cluster marks its shard
+// as an owner even if the point is later deleted; index contents alone
+// cannot reproduce that), and last the shard sub-index in the ivf v2
+// checkpoint format (last because ivf.Load buffers past what it
+// consumes).
+//
+// WAL records carry GLOBAL ids: one client batch fans out across
+// shards, so Cluster.Insert/Delete log each shard's applied sub-batch
+// to that shard's WAL, in per-shard application order. Replay is then
+// purely shard-local — insert assigns local id = len(table) exactly as
+// the live path did, delete routes through the rebuilt global→local
+// map — and shards can replay independently in any order.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/durable"
+	"drimann/internal/ivf"
+)
+
+// AssignName is the fleet assignment sidecar file, written once at
+// CreateFleetStore and never rewritten.
+const AssignName = "ASSIGN"
+
+const (
+	assignMagic   = 0x44524153 // "DRAS"
+	assignVersion = 1
+
+	shardSnapMagic   = 0x44525348 // "DRSH"
+	shardSnapVersion = 1
+)
+
+// FleetStore is the durable state of one sharded fleet: a durable.Store
+// per shard plus the assignment sidecar. Not safe for concurrent use on
+// its own — the Cluster logs to it under its mutation mutex, and the
+// routed Server additionally quiesces every replica batcher first.
+type FleetStore struct {
+	dir    string
+	fs     durable.FS
+	stores []*durable.Store
+}
+
+func fleetFS(opt durable.Options) durable.FS {
+	if opt.FS != nil {
+		return opt.FS
+	}
+	return durable.OS{}
+}
+
+func shardDir(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", s))
+}
+
+// Dir returns the fleet directory.
+func (fst *FleetStore) Dir() string { return fst.dir }
+
+// NumShards returns the number of per-shard stores.
+func (fst *FleetStore) NumShards() int { return len(fst.stores) }
+
+// Shard returns shard s's durable.Store (for inspection and tests).
+func (fst *FleetStore) Shard(s int) *durable.Store { return fst.stores[s] }
+
+// Close syncs and closes every shard's live WAL.
+func (fst *FleetStore) Close() error {
+	errs := make([]error, len(fst.stores))
+	for s, st := range fst.stores {
+		errs[s] = st.Close()
+	}
+	return errors.Join(errs...)
+}
+
+// encodeAssign freezes the partitioning decision: policy, shard count,
+// nlist, and (under AssignKMeans) the cluster→shard map, with a
+// trailing CRC over everything before it.
+func encodeAssign(policy Assignment, shards, nlist int, shardOfCluster []int32) []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var w [4]byte
+	le.PutUint32(w[:], assignMagic)
+	buf.Write(w[:])
+	le.PutUint32(w[:], assignVersion)
+	buf.Write(w[:])
+	if policy == AssignKMeans {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	le.PutUint32(w[:], uint32(shards))
+	buf.Write(w[:])
+	le.PutUint32(w[:], uint32(nlist))
+	buf.Write(w[:])
+	if policy == AssignKMeans {
+		binary.Write(&buf, le, shardOfCluster)
+	}
+	le.PutUint32(w[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(w[:])
+	return buf.Bytes()
+}
+
+func decodeAssign(data []byte) (policy Assignment, shards, nlist int, shardOfCluster []int32, err error) {
+	le := binary.LittleEndian
+	fail := func(format string, args ...any) (Assignment, int, int, []int32, error) {
+		return "", 0, 0, nil, fmt.Errorf("cluster: assignment sidecar: "+format, args...)
+	}
+	if len(data) < 4+4+1+4+4+4 {
+		return fail("short file (%d bytes)", len(data))
+	}
+	if le.Uint32(data[len(data)-4:]) != crc32.ChecksumIEEE(data[:len(data)-4]) {
+		return fail("checksum mismatch")
+	}
+	if le.Uint32(data[0:4]) != assignMagic {
+		return fail("bad magic")
+	}
+	if v := le.Uint32(data[4:8]); v != assignVersion {
+		return fail("unsupported version %d", v)
+	}
+	switch data[8] {
+	case 0:
+		policy = AssignHash
+	case 1:
+		policy = AssignKMeans
+	default:
+		return fail("unknown policy byte %d", data[8])
+	}
+	shards = int(le.Uint32(data[9:13]))
+	nlist = int(le.Uint32(data[13:17]))
+	if shards <= 0 || nlist <= 0 {
+		return fail("corrupt header shards=%d nlist=%d", shards, nlist)
+	}
+	body := data[17 : len(data)-4]
+	if policy == AssignKMeans {
+		if len(body) != nlist*4 {
+			return fail("cluster map is %d bytes, want %d", len(body), nlist*4)
+		}
+		shardOfCluster = make([]int32, nlist)
+		for c := range shardOfCluster {
+			s := int32(le.Uint32(body[c*4:]))
+			if s < 0 || int(s) >= shards {
+				return fail("cluster %d maps to shard %d of %d", c, s, shards)
+			}
+			shardOfCluster[c] = s
+		}
+	} else if len(body) != 0 {
+		return fail("%d trailing bytes under hash policy", len(body))
+	}
+	return policy, shards, nlist, shardOfCluster, nil
+}
+
+// writeIDSection frames an int32 slice as `n u32 | ids n×i32 | crc u32`
+// (CRC over the length and ids bytes).
+func writeIDSection(w io.Writer, ids []int32) error {
+	buf := make([]byte, 4+len(ids)*4)
+	le := binary.LittleEndian
+	le.PutUint32(buf, uint32(len(ids)))
+	for i, id := range ids {
+		le.PutUint32(buf[4+i*4:], uint32(id))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	var crc [4]byte
+	le.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+func readIDSection(data []byte, what string) (ids []int32, rest []byte, err error) {
+	le := binary.LittleEndian
+	if len(data) < 8 {
+		return nil, nil, fmt.Errorf("cluster: shard snapshot: truncated %s section", what)
+	}
+	n := int(le.Uint32(data))
+	end := 4 + n*4
+	if n < 0 || len(data) < end+4 {
+		return nil, nil, fmt.Errorf("cluster: shard snapshot: %s section claims %d ids beyond file", what, n)
+	}
+	if le.Uint32(data[end:]) != crc32.ChecksumIEEE(data[:end]) {
+		return nil, nil, fmt.Errorf("cluster: shard snapshot: %s section checksum mismatch", what)
+	}
+	ids = make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(le.Uint32(data[4+i*4:]))
+	}
+	return ids, data[end+4:], nil
+}
+
+// shardSnapshot returns shard s's checkpoint writer: header, the
+// local→global table, the shard's owned clusters (the owner-map rows
+// naming s), then the sub-index with its live overlay in ivf v2 format.
+// Callers hold cl.mu (or are the only goroutine, during create and
+// recovery).
+func (cl *Cluster) shardSnapshot(s int) func(w io.Writer) error {
+	return func(w io.Writer) error {
+		le := binary.LittleEndian
+		var head [8]byte
+		le.PutUint32(head[0:4], shardSnapMagic)
+		le.PutUint32(head[4:8], shardSnapVersion)
+		if _, err := w.Write(head[:]); err != nil {
+			return err
+		}
+		sh := cl.shards[s]
+		if err := writeIDSection(w, sh.GlobalIDs()); err != nil {
+			return err
+		}
+		owners := cl.ownersView()
+		var owned []int32
+		for c, row := range owners {
+			for _, o := range row {
+				if o == int32(s) {
+					owned = append(owned, int32(c))
+					break
+				}
+			}
+		}
+		if err := writeIDSection(w, owned); err != nil {
+			return err
+		}
+		return sh.Engine.Index().Save(w)
+	}
+}
+
+func parseShardSnapshot(img []byte) (table, owned []int32, ixBytes []byte, err error) {
+	le := binary.LittleEndian
+	if len(img) < 8 || le.Uint32(img[0:4]) != shardSnapMagic {
+		return nil, nil, nil, fmt.Errorf("cluster: shard snapshot: bad magic")
+	}
+	if v := le.Uint32(img[4:8]); v != shardSnapVersion {
+		return nil, nil, nil, fmt.Errorf("cluster: shard snapshot: unsupported version %d", v)
+	}
+	rest := img[8:]
+	if table, rest, err = readIDSection(rest, "table"); err != nil {
+		return nil, nil, nil, err
+	}
+	if owned, rest, err = readIDSection(rest, "owners"); err != nil {
+		return nil, nil, nil, err
+	}
+	return table, owned, rest, nil
+}
+
+// CreateFleetStore initializes durable state for cl under opt.Dir — the
+// assignment sidecar plus one per-shard store seeded with an initial
+// checkpoint — and attaches it: from here on every Cluster.Insert and
+// Delete logs its applied sub-batches to the owning shards' WALs before
+// acknowledging, and Compact checkpoints every shard. The caller closes
+// the returned store after the fleet's last mutation (the routed Server
+// does not own it).
+func CreateFleetStore(cl *Cluster, opt durable.Options) (*FleetStore, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.fstore != nil {
+		return nil, fmt.Errorf("cluster: fleet store already attached")
+	}
+	fsys := fleetFS(opt)
+	if err := fsys.MkdirAll(opt.Dir); err != nil {
+		return nil, err
+	}
+	side := encodeAssign(cl.opt.Assignment, len(cl.shards), cl.ix.NList, cl.shardOfCluster)
+	if err := durable.WriteFileAtomic(fsys, filepath.Join(opt.Dir, AssignName), func(w io.Writer) error {
+		_, err := w.Write(side)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	fst := &FleetStore{dir: opt.Dir, fs: fsys, stores: make([]*durable.Store, len(cl.shards))}
+	for s := range cl.shards {
+		st, err := durable.Create(durable.Options{Dir: shardDir(opt.Dir, s), Policy: opt.Policy, FS: opt.FS},
+			cl.shardSnapshot(s))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d store: %w", s, err)
+		}
+		fst.stores[s] = st
+	}
+	cl.fstore = fst
+	return fst, nil
+}
+
+// Durability returns the attached fleet store, nil when the cluster is
+// not durable.
+func (cl *Cluster) Durability() *FleetStore { return cl.fstore }
+
+// logInserts appends each shard's applied insert sub-batch (global ids
+// + raw vectors, in application order) to that shard's WAL and marks
+// the batch durability point. Callers hold cl.mu.
+func (cl *Cluster) logInserts(pend []pendingInserts, dim int) error {
+	for s := range pend {
+		if len(pend[s].ids) == 0 {
+			continue
+		}
+		rec, err := durable.EncodeInsert(pend[s].ids, dim, pend[s].vecs)
+		if err != nil {
+			return err
+		}
+		st := cl.fstore.stores[s]
+		if err := st.Append(rec); err != nil {
+			return err
+		}
+		if err := st.BatchEnd(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// logDeletes is logInserts for delete sub-batches.
+func (cl *Cluster) logDeletes(pend [][]int32) error {
+	for s := range pend {
+		if len(pend[s]) == 0 {
+			continue
+		}
+		st := cl.fstore.stores[s]
+		if err := st.Append(durable.EncodeDelete(pend[s])); err != nil {
+			return err
+		}
+		if err := st.BatchEnd(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointShards rotates every shard's {snapshot, WAL} generation.
+// Callers hold cl.mu.
+func (cl *Cluster) checkpointShards() error {
+	for s := range cl.shards {
+		if err := cl.fstore.stores[s].Checkpoint(cl.shardSnapshot(s)); err != nil {
+			return fmt.Errorf("cluster: shard %d checkpoint: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint rotates every shard's durable generation without
+// compacting (snapshots carry the live overlays; base lists are
+// untouched, so recovery redeploys them exactly). No-op without an
+// attached store. Not safe concurrently with searches — the routed
+// Server exposes this under fleet-wide quiescence.
+func (cl *Cluster) Checkpoint() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.fstore == nil {
+		return nil
+	}
+	return cl.checkpointShards()
+}
+
+// RecoverCluster rebuilds a fleet from the durable state in opt.Dir:
+// the assignment sidecar fixes the partitioning, each shard redeploys
+// from its checkpoint snapshot (base lists are always a deploy-time
+// state, so core.New reproduces placement and decomposition exactly),
+// re-adopts its overlay, replays its WAL tail, and rotates to a fresh
+// generation. profile and copt must match the original deployment for
+// bit-identity, exactly as in core.Recover. The returned cluster has
+// the store attached and ready for appends; unacknowledged mutations
+// (never WAL-synced) may be lost, acknowledged ones never are.
+func RecoverCluster(opt durable.Options, profile dataset.U8Set, copt Options) (*Cluster, *FleetStore, error) {
+	if err := copt.defaults(); err != nil {
+		return nil, nil, err
+	}
+	fsys := fleetFS(opt)
+	raw, err := fsys.ReadFile(filepath.Join(opt.Dir, AssignName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: recover: %w", err)
+	}
+	policy, S, nlist, shardOfCluster, err := decodeAssign(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if policy != copt.Assignment {
+		return nil, nil, fmt.Errorf("cluster: recover: store was partitioned with %q, options say %q", policy, copt.Assignment)
+	}
+	if S != copt.Shards {
+		return nil, nil, fmt.Errorf("cluster: recover: store has %d shards, options say %d", S, copt.Shards)
+	}
+
+	cl := &Cluster{
+		opt:            copt,
+		shards:         make([]*Shard, S),
+		shardOfCluster: shardOfCluster,
+		g2l:            make([]map[int32]int32, S),
+	}
+	fst := &FleetStore{dir: opt.Dir, fs: fsys, stores: make([]*durable.Store, S)}
+	walTails := make([][][]byte, S)
+	ownedBy := make([][]int32, S)
+	for s := 0; s < S; s++ {
+		st, err := durable.Open(durable.Options{Dir: shardDir(opt.Dir, s), Policy: opt.Policy, FS: opt.FS})
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d: %w", s, err)
+		}
+		fst.stores[s] = st
+		img, err := st.SnapshotBytes()
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d snapshot: %w", s, err)
+		}
+		table, owned, ixBytes, err := parseShardSnapshot(img)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d: %w", s, err)
+		}
+		sub, err := ivf.Load(bytes.NewReader(ixBytes))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d index: %w", s, err)
+		}
+		if sub.NList != nlist {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d: index nlist %d != sidecar %d", s, sub.NList, nlist)
+		}
+		overlay := sub.DetachOverlay()
+		eng, err := core.New(sub, profile, copt.Engine)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d deploy: %w", s, err)
+		}
+		if err := eng.AdoptOverlay(overlay); err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d overlay: %w", s, err)
+		}
+		// Live point set: the table keeps stale entries for deleted
+		// points (only Compact prunes it), so the global→local map and
+		// Points come from the engine's live local ids, exactly the
+		// state the live fleet's lazy g2l held at checkpoint time.
+		locals := sub.LiveIDs()
+		m := make(map[int32]int32, len(locals))
+		for _, l := range locals {
+			if int(l) >= len(table) {
+				return nil, nil, fmt.Errorf("cluster: recover shard %d: live local id %d beyond table (%d)", s, l, len(table))
+			}
+			m[table[l]] = l
+		}
+		cl.g2l[s] = m
+		sh := &Shard{Engine: eng, Points: len(m)}
+		sh.setTable(table)
+		cl.shards[s] = sh
+		if walTails[s], err = st.WALRecords(); err != nil {
+			return nil, nil, fmt.Errorf("cluster: recover shard %d WAL: %w", s, err)
+		}
+		ownedBy[s] = owned
+	}
+
+	// Shared front-door state: every shard sub-index carries the full
+	// (identical) quantizer tables, so shard 0's stand in for the
+	// original unsharded index — post-build the cluster only uses its
+	// quantizers (AssignVec, Centroid, scratch), never its lists.
+	sub0 := cl.shards[0].Engine.Index()
+	cl.ix = &ivf.Index{
+		Dim: sub0.Dim, NList: sub0.NList, M: sub0.M, CB: sub0.CB,
+		Centroids:   sub0.Centroids,
+		CentroidsU8: sub0.CentroidsU8,
+		PQ:          sub0.PQ,
+		IntCB:       sub0.IntCB,
+		OPQ:         sub0.OPQ,
+		SQT:         sub0.SQT,
+		Lists:       make([][]int32, sub0.NList),
+		Codes:       make([][]uint16, sub0.NList),
+	}
+	cl.esc = cl.ix.NewEncodeScratch()
+	owners := make([][]int32, nlist)
+	for s := 0; s < S; s++ {
+		for _, c := range ownedBy[s] {
+			if c < 0 || int(c) >= nlist {
+				return nil, nil, fmt.Errorf("cluster: recover shard %d: owned cluster %d out of range", s, c)
+			}
+			owners[c] = append(owners[c], int32(s)) // shard-ascending: rows stay sorted
+		}
+	}
+	cl.storeOwners(owners)
+
+	// Replay each shard's WAL tail through the live mutation path, then
+	// grow the replica set and rotate every generation (discarding any
+	// torn tails) so the store accepts appends again.
+	for s := 0; s < S; s++ {
+		if err := cl.replayShardWAL(s, walTails[s]); err != nil {
+			return nil, nil, err
+		}
+	}
+	for s, sh := range cl.shards {
+		engines := make([]*core.Engine, copt.Replicas)
+		engines[0] = sh.Engine
+		for r := 1; r < copt.Replicas; r++ {
+			if engines[r], err = core.NewReplica(engines[0]); err != nil {
+				return nil, nil, fmt.Errorf("cluster: recover shard %d replica %d: %w", s, r, err)
+			}
+		}
+		sh.Engines = engines
+	}
+	cl.loc = cl.shards[0].Engine.Locator()
+	cl.fstore = fst
+	if err := cl.checkpointShards(); err != nil {
+		return nil, nil, err
+	}
+	return cl, fst, nil
+}
+
+// replayShardWAL applies shard s's decoded WAL tail in order: inserts
+// re-route nothing (the record already names this shard) and take the
+// next local id exactly as the live path did; deletes resolve through
+// the rebuilt global→local map. Owner rows grow through the same
+// addOwner the live insert used.
+func (cl *Cluster) replayShardWAL(s int, recs [][]byte) error {
+	sh := cl.shards[s]
+	for i, rec := range recs {
+		m, err := durable.DecodeMutation(rec)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d WAL record %d: %w", s, i, err)
+		}
+		switch m.Op {
+		case durable.OpInsert:
+			if m.Dim != cl.ix.Dim {
+				return fmt.Errorf("cluster: shard %d WAL record %d: dim %d != index dim %d", s, i, m.Dim, cl.ix.Dim)
+			}
+			for j, g := range m.IDs {
+				tbl := sh.GlobalIDs()
+				local := int32(len(tbl))
+				one := dataset.U8Set{N: 1, D: m.Dim, Data: m.Vecs[j*m.Dim : (j+1)*m.Dim]}
+				if err := sh.Engine.Insert(one, []int32{local}); err != nil {
+					return fmt.Errorf("cluster: shard %d WAL record %d replay: %w", s, i, err)
+				}
+				newTbl := make([]int32, len(tbl)+1)
+				copy(newTbl, tbl)
+				newTbl[len(tbl)] = g
+				sh.setTable(newTbl)
+				sh.Points++
+				cl.g2l[s][g] = local
+				c, ok := sh.Engine.Index().WhereIs(local)
+				if !ok {
+					return fmt.Errorf("cluster: shard %d lost replayed local id %d", s, local)
+				}
+				cl.addOwner(c, int32(s))
+			}
+		case durable.OpDelete:
+			for _, g := range m.IDs {
+				local, ok := cl.g2l[s][g]
+				if !ok {
+					return fmt.Errorf("cluster: shard %d WAL record %d: delete of unknown id %d", s, i, g)
+				}
+				if err := sh.Engine.Delete([]int32{local}); err != nil {
+					return fmt.Errorf("cluster: shard %d WAL record %d replay: %w", s, i, err)
+				}
+				delete(cl.g2l[s], g)
+				sh.Points--
+			}
+		default:
+			return fmt.Errorf("cluster: shard %d WAL record %d: unknown op %d", s, i, m.Op)
+		}
+	}
+	return nil
+}

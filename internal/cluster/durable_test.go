@@ -1,0 +1,382 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"drimann/internal/cluster"
+	"drimann/internal/core"
+	"drimann/internal/dataset"
+	"drimann/internal/durable"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+// durableFixture builds a corpus whose tail `reserve` points are left out
+// of the index as a live-insert pool, mirroring the serve-layer fixture.
+func durableFixture(t testing.TB, n, queries, reserve int) (*ivf.Index, *dataset.Synth, int) {
+	t.Helper()
+	s := dataset.Generate(dataset.SynthConfig{
+		Name: "cluster-durable", N: n, D: 64, NumQueries: queries,
+		NumClusters: 40, Seed: 7, Noise: 9,
+	})
+	base := n - reserve
+	ix, err := ivf.Build(dataset.U8Set{N: base, D: s.Base.D, Data: s.Base.Data[:base*s.Base.D]},
+		ivf.BuildConfig{
+			NList:       64,
+			PQ:          pq.Config{M: 16, CB: 256},
+			KMeansIters: 6,
+			TrainSample: 3000,
+			Seed:        7,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, s, base
+}
+
+// requireFleetEqual asserts two fleets are bit-identical: search results,
+// per-shard local→global tables, points, memory stats, and owner maps.
+func requireFleetEqual(t *testing.T, got, want *cluster.Cluster, queries dataset.U8Set, what string) {
+	t.Helper()
+	wr, err := want.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := got.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		if !reflect.DeepEqual(gr.IDs[qi], wr.IDs[qi]) || !reflect.DeepEqual(gr.Items[qi], wr.Items[qi]) {
+			t.Fatalf("%s: query %d diverges:\n got %v\nwant %v", what, qi, gr.IDs[qi], wr.IDs[qi])
+		}
+	}
+	gs, ws := got.Shards(), want.Shards()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: %d shards, want %d", what, len(gs), len(ws))
+	}
+	for s := range gs {
+		if !reflect.DeepEqual(gs[s].GlobalIDs(), ws[s].GlobalIDs()) {
+			t.Fatalf("%s: shard %d table diverges", what, s)
+		}
+		if gs[s].Points != ws[s].Points {
+			t.Fatalf("%s: shard %d points %d, want %d", what, s, gs[s].Points, ws[s].Points)
+		}
+		if gm, wm := gs[s].Engine.MemoryFootprint(), ws[s].Engine.MemoryFootprint(); gm != wm {
+			t.Fatalf("%s: shard %d memory stats diverge: %+v vs %+v", what, s, gm, wm)
+		}
+	}
+	for c := int32(0); int(c) < want.Index().NList; c++ {
+		if !reflect.DeepEqual(got.OwnerShards(c), want.OwnerShards(c)) {
+			t.Fatalf("%s: owner map diverges at cluster %d: %v vs %v",
+				what, c, got.OwnerShards(c), want.OwnerShards(c))
+		}
+	}
+}
+
+// TestClusterRecoverBitIdentical pins the fleet-level recovery contract
+// for S ∈ {1, 2, 7} under both assignment policies: a fleet recovered
+// from its FleetStore serves bit-identical results, tables, owner maps,
+// and memory stats to the live (never-crashed) fleet over the same
+// acknowledged mutations — across two crash/recover generations, the
+// second from snapshots that carry live overlays.
+func TestClusterRecoverBitIdentical(t *testing.T) {
+	ix, s, base := durableFixture(t, 4000, 48, 300)
+	for _, shards := range []int{1, 2, 7} {
+		for _, assign := range []cluster.Assignment{cluster.AssignHash, cluster.AssignKMeans} {
+			t.Run(fmt.Sprintf("S=%d/%s", shards, assign), func(t *testing.T) {
+				copt := cluster.Options{Shards: shards, Assignment: assign, Engine: engineOpts()}
+				cl, err := cluster.New(ix, s.Queries, copt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs := durable.NewMemFS(durable.FaultPlan{})
+				fst, err := cluster.CreateFleetStore(cl, durable.Options{Dir: "fleet", FS: fs})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Mutations: multi-point batches (per-shard sub-batch
+				// logging), deletes of base and fresh points, an
+				// insert-then-delete pair (owner rows outlive the point),
+				// and a mid-stream Compact (checkpoint rotation).
+				insert := func(cl *cluster.Cluster, lo, n int) {
+					t.Helper()
+					ids := make([]int32, n)
+					for i := range ids {
+						ids[i] = int32(lo + i)
+					}
+					vecs := dataset.U8Set{N: n, D: s.Base.D, Data: s.Base.Data[lo*s.Base.D : (lo+n)*s.Base.D]}
+					if err := cl.Insert(vecs, ids); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for lo := base; lo < base+40; lo += 5 {
+					insert(cl, lo, 5)
+				}
+				if err := cl.Delete([]int32{7, 501, int32(base + 3)}); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Compact(); err != nil {
+					t.Fatal(err)
+				}
+				insert(cl, base+60, 5)
+				if err := cl.Delete([]int32{int32(base + 62), 9}); err != nil {
+					t.Fatal(err)
+				}
+
+				// Kill: close the live store, recover a second fleet.
+				if err := fst.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rcl, rfst, err := cluster.RecoverCluster(durable.Options{Dir: "fleet", FS: fs}, s.Queries, copt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireFleetEqual(t, rcl, cl, s.Queries, "gen 1")
+
+				// Generation 2: mutate the recovered fleet (its rotated
+				// snapshot carries the replayed overlay), kill, recover.
+				insert(rcl, base+100, 5)
+				if err := rcl.Delete([]int32{int32(base + 101), 23}); err != nil {
+					t.Fatal(err)
+				}
+				if err := rfst.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rcl2, _, err := cluster.RecoverCluster(durable.Options{Dir: "fleet", FS: fs}, s.Queries, copt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireFleetEqual(t, rcl2, rcl, s.Queries, "gen 2")
+			})
+		}
+	}
+}
+
+// TestClusterRecoverRejectsMismatchedOptions pins the sidecar guard:
+// recovering with a different shard count or assignment policy than the
+// store was partitioned with must fail loudly, never silently re-route.
+func TestClusterRecoverRejectsMismatchedOptions(t *testing.T) {
+	ix, s, _ := durableFixture(t, 2000, 8, 100)
+	copt := cluster.Options{Shards: 2, Assignment: cluster.AssignKMeans, Engine: engineOpts()}
+	cl, err := cluster.New(ix, s.Queries, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := durable.NewMemFS(durable.FaultPlan{})
+	if _, err := cluster.CreateFleetStore(cl, durable.Options{Dir: "fleet", FS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	bad := copt
+	bad.Shards = 3
+	if _, _, err := cluster.RecoverCluster(durable.Options{Dir: "fleet", FS: fs}, s.Queries, bad); err == nil {
+		t.Fatal("shard-count mismatch must fail recovery")
+	}
+	bad = copt
+	bad.Assignment = cluster.AssignHash
+	if _, _, err := cluster.RecoverCluster(durable.Options{Dir: "fleet", FS: fs}, s.Queries, bad); err == nil {
+		t.Fatal("assignment mismatch must fail recovery")
+	}
+}
+
+// matrixOp is one single-point step of the crash-matrix workload.
+// Single-point mutations touch exactly one shard, so "acknowledged"
+// has no cross-shard partial case: the op is durable or it is not.
+type matrixOp struct {
+	kind string // "ins", "del", "compact"
+	id   int32
+}
+
+func applyMatrixOp(cl *cluster.Cluster, s *dataset.Synth, op matrixOp) error {
+	switch op.kind {
+	case "ins":
+		one := dataset.U8Set{N: 1, D: s.Base.D, Data: s.Base.Vec(int(op.id))}
+		return cl.Insert(one, []int32{op.id})
+	case "del":
+		return cl.Delete([]int32{op.id})
+	default:
+		return cl.Compact()
+	}
+}
+
+// corpusSet returns the fleet's live global-id set, shard by shard.
+func corpusSet(cl *cluster.Cluster) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, sh := range cl.Shards() {
+		tbl := sh.GlobalIDs()
+		for _, l := range sh.Engine.Index().LiveIDs() {
+			out[tbl[l]] = true
+		}
+	}
+	return out
+}
+
+// TestClusterRecoverCrashMatrix kills the fleet at every mutating
+// filesystem operation of a fixed workload (torn final write included)
+// and recovers: the recovered corpus must be exactly the acknowledged
+// state or the acknowledged state plus the one in-flight mutation —
+// never a torn hybrid — and the recovered fleet must serve bit-identical
+// results to a never-crashed reference over that same op prefix. The
+// workload's fresh ids ascend past every base id, so per-shard tables
+// stay monotone and bit-identity holds even when a crash inside the
+// Compact rotation leaves some shards recovered from the compacted
+// snapshot and others replaying their pre-compact overlay.
+func TestClusterRecoverCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is slow")
+	}
+	s := dataset.Generate(dataset.SynthConfig{
+		Name: "cluster-crash", N: 1600, D: 32, NumQueries: 16,
+		NumClusters: 16, Seed: 5, Noise: 9,
+	})
+	base := 1500
+	ix, err := ivf.Build(dataset.U8Set{N: base, D: s.Base.D, Data: s.Base.Data[:base*s.Base.D]},
+		ivf.BuildConfig{
+			NList:       24,
+			PQ:          pq.Config{M: 8, CB: 64},
+			KMeansIters: 4,
+			TrainSample: 1000,
+			Seed:        3,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eopt := core.DefaultOptions()
+	eopt.NumDPUs = 8
+	eopt.NProbe = 6
+	eopt.K = 10
+	copt := cluster.Options{Shards: 2, Assignment: cluster.AssignKMeans, Engine: eopt}
+
+	workload := []matrixOp{
+		{kind: "ins", id: int32(base)},
+		{kind: "ins", id: int32(base + 1)},
+		{kind: "del", id: 12},
+		{kind: "ins", id: int32(base + 2)},
+		{kind: "del", id: int32(base + 1)},
+		{kind: "compact"},
+		{kind: "ins", id: int32(base + 3)},
+		{kind: "del", id: 40},
+	}
+
+	// run builds a fresh durable fleet on fs, applies the workload until
+	// a crash interrupts it, and reports how many ops were acknowledged
+	// plus which op (if any) was in flight.
+	run := func(fs *durable.MemFS) (acked int, inflight bool, err error) {
+		cl, err := cluster.New(ix, s.Queries, copt)
+		if err != nil {
+			return 0, false, err
+		}
+		if _, err := cluster.CreateFleetStore(cl, durable.Options{
+			Dir: "fleet", Policy: durable.SyncEveryRecord, FS: fs,
+		}); err != nil {
+			return 0, false, err
+		}
+		for _, op := range workload {
+			if err := applyMatrixOp(cl, s, op); err != nil {
+				if errors.Is(err, durable.ErrCrashed) || errors.Is(err, durable.ErrInjectedSync) {
+					return acked, true, nil
+				}
+				return 0, false, err
+			}
+			acked++
+		}
+		return acked, false, nil
+	}
+
+	// Dry run: count the setup ops (crashing inside creation just means
+	// no store exists — covered by the store-level matrix) and the total.
+	dry := durable.NewMemFS(durable.FaultPlan{})
+	probe, err := cluster.New(ix, s.Queries, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.CreateFleetStore(probe, durable.Options{
+		Dir: "fleet", Policy: durable.SyncEveryRecord, FS: dry,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setupOps := dry.Ops()
+	for _, op := range workload {
+		if err := applyMatrixOp(probe, s, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalOps := dry.Ops()
+
+	// Reference states: refSets[k] is the corpus after k acknowledged
+	// ops; refAt(k) a never-crashed fleet with the first k ops applied.
+	refSets := make([]map[int32]bool, len(workload)+1)
+	{
+		rcl, err := cluster.New(ix, s.Queries, copt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSets[0] = corpusSet(rcl)
+		for k, op := range workload {
+			if err := applyMatrixOp(rcl, s, op); err != nil {
+				t.Fatal(err)
+			}
+			refSets[k+1] = corpusSet(rcl)
+		}
+	}
+	refAt := func(k int) *cluster.Cluster {
+		rcl, err := cluster.New(ix, s.Queries, copt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range workload[:k] {
+			if err := applyMatrixOp(rcl, s, op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rcl
+	}
+
+	for crashAt := setupOps + 1; crashAt <= totalOps; crashAt++ {
+		fs := durable.NewMemFS(durable.FaultPlan{CrashAtOp: crashAt, TornWrite: true})
+		acked, inflight, err := run(fs)
+		if err != nil {
+			t.Fatalf("crash@%d: workload: %v", crashAt, err)
+		}
+		fs.Reboot()
+		rcl, _, err := cluster.RecoverCluster(durable.Options{
+			Dir: "fleet", Policy: durable.SyncEveryRecord, FS: fs,
+		}, s.Queries, copt)
+		if err != nil {
+			t.Fatalf("crash@%d: recover: %v", crashAt, err)
+		}
+		got := corpusSet(rcl)
+		matched := -1
+		for _, k := range []int{acked, acked + 1} {
+			if inflight || k == acked {
+				if k <= len(workload) && reflect.DeepEqual(got, refSets[k]) {
+					matched = k
+					break
+				}
+			}
+		}
+		if matched < 0 {
+			t.Fatalf("crash@%d: recovered corpus (%d ids) is neither state %d nor %d — torn hybrid",
+				crashAt, len(got), acked, acked+1)
+		}
+		ref := refAt(matched)
+		want, err := ref.SearchBatch(s.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rcl.SearchBatch(s.Queries)
+		if err != nil {
+			t.Fatalf("crash@%d: recovered search: %v", crashAt, err)
+		}
+		for qi := 0; qi < s.Queries.N; qi++ {
+			if !reflect.DeepEqual(res.IDs[qi], want.IDs[qi]) || !reflect.DeepEqual(res.Items[qi], want.Items[qi]) {
+				t.Fatalf("crash@%d: query %d diverges from reference over op prefix %d",
+					crashAt, qi, matched)
+			}
+		}
+	}
+}

@@ -52,14 +52,26 @@ func (cl *Cluster) findShard(id int32) int {
 	return -1
 }
 
+// pendingInserts accumulates one shard's applied insert sub-batch — the
+// WAL record a durable fleet writes once the batch finishes (or fails
+// part-way: the applied prefix is still logged, so the WAL always
+// reproduces acknowledged engine state).
+type pendingInserts struct {
+	ids  []int32
+	vecs []byte
+}
+
 // Insert adds vecs[i] under global ids[i]. Under AssignKMeans each point
 // lands on the shard owning its nearest centroid's cluster (even a cluster
 // that owned no points at build time); under AssignHash on the shard its ID
 // hashes to — both exactly where a fresh build over the grown corpus would
 // place it. The owner map is updated before returning, so the very next
-// selective-scatter batch routes to the new point. Not safe concurrently
-// with searches on the shard engines; the routed cluster.Server serializes
-// this at batch boundaries.
+// selective-scatter batch routes to the new point. With a fleet store
+// attached, each shard's applied sub-batch is WAL-logged before the call
+// returns; a logging failure is reported even when every point applied
+// ("applied but not durable" — the mutation is live in memory but not
+// acknowledged). Not safe concurrently with searches on the shard engines;
+// the routed cluster.Server serializes this at batch boundaries.
 func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 	if vecs.N != len(ids) {
 		return fmt.Errorf("cluster: %d vectors for %d ids", vecs.N, len(ids))
@@ -70,13 +82,20 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	cl.ensureG2L()
+	var pend []pendingInserts
+	if cl.fstore != nil {
+		pend = make([]pendingInserts, len(cl.shards))
+	}
+	var applyErr error
 	for i := 0; i < vecs.N; i++ {
 		id := ids[i]
 		if id < 0 {
-			return fmt.Errorf("cluster: insert id %d negative", id)
+			applyErr = fmt.Errorf("cluster: insert id %d negative", id)
+			break
 		}
 		if s := cl.findShard(id); s >= 0 {
-			return fmt.Errorf("cluster: id %d already present on shard %d (delete it first)", id, s)
+			applyErr = fmt.Errorf("cluster: id %d already present on shard %d (delete it first)", id, s)
+			break
 		}
 		var s int32
 		if cl.shardOfCluster != nil {
@@ -90,7 +109,8 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 		local := int32(len(tbl))
 		one := dataset.U8Set{N: 1, D: vecs.D, Data: vecs.Vec(i)}
 		if err := sh.Engine.Insert(one, []int32{local}); err != nil {
-			return fmt.Errorf("cluster: shard %d: %w", s, err)
+			applyErr = fmt.Errorf("cluster: shard %d: %w", s, err)
+			break
 		}
 		newTbl := make([]int32, len(tbl)+1)
 		copy(newTbl, tbl)
@@ -98,13 +118,23 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 		sh.setTable(newTbl)
 		sh.Points++
 		cl.g2l[s][id] = local
+		if pend != nil {
+			pend[s].ids = append(pend[s].ids, id)
+			pend[s].vecs = append(pend[s].vecs, vecs.Vec(i)...)
+		}
 		c, ok := sh.Engine.Index().WhereIs(local)
 		if !ok {
-			return fmt.Errorf("cluster: shard %d lost inserted local id %d", s, local)
+			applyErr = fmt.Errorf("cluster: shard %d lost inserted local id %d", s, local)
+			break
 		}
 		cl.addOwner(c, s)
 	}
-	return nil
+	if pend != nil {
+		if err := cl.logInserts(pend, vecs.D); err != nil {
+			return fmt.Errorf("cluster: insert applied but not durable: %w", err)
+		}
+	}
+	return applyErr
 }
 
 // addOwner records shard s as an owner of cluster c (copy-on-write; no-op
@@ -129,23 +159,40 @@ func (cl *Cluster) addOwner(c, s int32) {
 // Delete removes global ids from the fleet, routing each to the shard that
 // holds it. Owner-map entries are left in place until Compact (routing to a
 // shard whose list became all-tombstones is harmless, just not minimal).
+// With a fleet store attached the applied sub-batches are WAL-logged under
+// the same applied-prefix contract as Insert.
 func (cl *Cluster) Delete(ids []int32) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	cl.ensureG2L()
+	var pend [][]int32
+	if cl.fstore != nil {
+		pend = make([][]int32, len(cl.shards))
+	}
+	var applyErr error
 	for _, id := range ids {
 		s := cl.findShard(id)
 		if s < 0 {
-			return fmt.Errorf("cluster: id %d not present", id)
+			applyErr = fmt.Errorf("cluster: id %d not present", id)
+			break
 		}
 		local := cl.g2l[s][id]
 		if err := cl.shards[s].Engine.Delete([]int32{local}); err != nil {
-			return fmt.Errorf("cluster: shard %d: %w", s, err)
+			applyErr = fmt.Errorf("cluster: shard %d: %w", s, err)
+			break
 		}
 		delete(cl.g2l[s], id)
 		cl.shards[s].Points--
+		if pend != nil {
+			pend[s] = append(pend[s], id)
+		}
 	}
-	return nil
+	if pend != nil {
+		if err := cl.logDeletes(pend); err != nil {
+			return fmt.Errorf("cluster: delete applied but not durable: %w", err)
+		}
+	}
+	return applyErr
 }
 
 // Compact folds every shard's append segments and tombstones into its
@@ -192,5 +239,10 @@ func (cl *Cluster) Compact() error {
 		}
 	}
 	cl.storeOwners(owners)
+	if cl.fstore != nil {
+		// Compact is the durable rotation point: every shard's packed
+		// state becomes the new checkpoint and its WAL restarts empty.
+		return cl.checkpointShards()
+	}
 	return nil
 }

@@ -645,6 +645,13 @@ func (s *Server) Compact() error {
 	return s.exclusiveAll(func() error { return s.cl.Compact() })
 }
 
+// Checkpoint rotates every shard's durable {snapshot, WAL} generation
+// (Cluster.Checkpoint) under fleet-wide quiescence, without compacting.
+// No-op when the cluster has no fleet store attached.
+func (s *Server) Checkpoint() error {
+	return s.exclusiveAll(func() error { return s.cl.Checkpoint() })
+}
+
 // Close seals every replica server (concurrently) and waits for each to
 // drain. Safe to call multiple times and concurrently.
 func (s *Server) Close() error {

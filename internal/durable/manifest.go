@@ -1,0 +1,111 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Manifest is the one mutable pointer in a store directory: it names
+// the current snapshot and the WAL that continues it. It is always
+// replaced atomically (WriteFileAtomic), so the {snapshot, WAL} pair
+// switches as a unit — recovery never pairs a new snapshot with an old
+// log or vice versa.
+type Manifest struct {
+	// Seq is the checkpoint sequence number, bumped by every
+	// checkpoint; snapshot and WAL file names embed it.
+	Seq uint64
+	// Snapshot and WAL are file names relative to the store dir.
+	Snapshot string
+	// WAL holds mutations appended after Snapshot was taken.
+	WAL string
+}
+
+// Manifest layout: magic u32 "DRMF" | ver u32 | seq u64 |
+// lenSnap u32 | snap | lenWAL u32 | wal | crc u32 (of all prior bytes).
+const (
+	manifestMagic   = 0x44524d46
+	manifestVersion = 1
+	// ManifestName is the manifest's file name inside a store dir.
+	ManifestName = "MANIFEST"
+)
+
+func (m Manifest) encode() []byte {
+	buf := make([]byte, 0, 32+len(m.Snapshot)+len(m.WAL))
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put32(manifestMagic)
+	put32(manifestVersion)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], m.Seq)
+	buf = append(buf, u64[:]...)
+	put32(uint32(len(m.Snapshot)))
+	buf = append(buf, m.Snapshot...)
+	put32(uint32(len(m.WAL)))
+	buf = append(buf, m.WAL...)
+	put32(crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+func decodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < 24 {
+		return m, fmt.Errorf("durable: manifest too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return m, fmt.Errorf("durable: manifest checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(body[0:]); v != manifestMagic {
+		return m, fmt.Errorf("durable: bad manifest magic %#x", v)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != manifestVersion {
+		return m, fmt.Errorf("durable: unsupported manifest version %d", v)
+	}
+	m.Seq = binary.LittleEndian.Uint64(body[8:])
+	off := 16
+	readStr := func() (string, error) {
+		if len(body)-off < 4 {
+			return "", fmt.Errorf("durable: manifest truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if n < 0 || n > len(body)-off {
+			return "", fmt.Errorf("durable: manifest string length %d out of range", n)
+		}
+		s := string(body[off : off+n])
+		off += n
+		return s, nil
+	}
+	var err error
+	if m.Snapshot, err = readStr(); err != nil {
+		return m, err
+	}
+	if m.WAL, err = readStr(); err != nil {
+		return m, err
+	}
+	if off != len(body) {
+		return m, fmt.Errorf("durable: %d trailing manifest bytes", len(body)-off)
+	}
+	return m, nil
+}
+
+func writeManifest(fsys FS, path string, m Manifest) error {
+	enc := m.encode()
+	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(enc)
+		return err
+	})
+}
+
+func readManifest(fsys FS, path string) (Manifest, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return decodeManifest(data)
+}

@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mutation record payloads (they ride inside WAL record frames, which
+// supply length and checksum):
+//
+//	insert: op u8 = 1 | n u32 | dim u32 | ids n×i32 | vecs n*dim bytes
+//	delete: op u8 = 2 | n u32 | ids n×i32
+//
+// Vectors are logged raw (uint8 components, the corpus element type):
+// replay re-routes and re-encodes them with the frozen quantizers, which
+// is deterministic, so the recovered overlay is bit-identical to the
+// pre-crash one.
+const (
+	// OpInsert identifies an insert mutation record.
+	OpInsert byte = 1
+	// OpDelete identifies a delete mutation record.
+	OpDelete byte = 2
+)
+
+// Mutation is a decoded WAL mutation record.
+type Mutation struct {
+	Op  byte
+	IDs []int32
+	// Dim and Vecs are set for OpInsert: len(Vecs) == len(IDs)*Dim.
+	Dim  int
+	Vecs []byte
+}
+
+// EncodeInsert builds an insert record for len(ids) vectors of dim
+// components stored row-major in vecs.
+func EncodeInsert(ids []int32, dim int, vecs []byte) ([]byte, error) {
+	if len(vecs) != len(ids)*dim {
+		return nil, fmt.Errorf("durable: insert record: %d vector bytes for %d ids × dim %d", len(vecs), len(ids), dim)
+	}
+	buf := make([]byte, 0, 9+4*len(ids)+len(vecs))
+	buf = append(buf, OpInsert)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	return append(buf, vecs...), nil
+}
+
+// EncodeDelete builds a delete record for ids.
+func EncodeDelete(ids []int32) []byte {
+	buf := make([]byte, 0, 5+4*len(ids))
+	buf = append(buf, OpDelete)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	return buf
+}
+
+// DecodeMutation strictly decodes a mutation record: unknown ops,
+// short payloads, and trailing bytes are all errors (the WAL frame
+// already checksummed the payload, so any mismatch here means a
+// version skew or an encoder bug, not disk corruption). Vecs aliases
+// rec.
+func DecodeMutation(rec []byte) (Mutation, error) {
+	var m Mutation
+	if len(rec) < 5 {
+		return m, fmt.Errorf("durable: mutation record too short (%d bytes)", len(rec))
+	}
+	m.Op = rec[0]
+	n := int(binary.LittleEndian.Uint32(rec[1:]))
+	off := 5
+	switch m.Op {
+	case OpInsert:
+		if len(rec)-off < 4 {
+			return m, fmt.Errorf("durable: insert record truncated")
+		}
+		m.Dim = int(binary.LittleEndian.Uint32(rec[off:]))
+		off += 4
+		if n < 0 || m.Dim <= 0 || n > (len(rec)-off)/4 {
+			return m, fmt.Errorf("durable: insert record: bad n=%d dim=%d", n, m.Dim)
+		}
+	case OpDelete:
+		if n < 0 || n > (len(rec)-off)/4 {
+			return m, fmt.Errorf("durable: delete record: bad n=%d", n)
+		}
+	default:
+		return m, fmt.Errorf("durable: unknown mutation op %d", m.Op)
+	}
+	m.IDs = make([]int32, n)
+	for i := range m.IDs {
+		m.IDs[i] = int32(binary.LittleEndian.Uint32(rec[off:]))
+		off += 4
+	}
+	if m.Op == OpInsert {
+		want := n * m.Dim
+		if len(rec)-off != want {
+			return m, fmt.Errorf("durable: insert record: %d vector bytes, want %d", len(rec)-off, want)
+		}
+		m.Vecs = rec[off : off+want]
+	} else if off != len(rec) {
+		return m, fmt.Errorf("durable: %d trailing bytes in delete record", len(rec)-off)
+	}
+	return m, nil
+}

@@ -187,6 +187,17 @@ func (ix *Index) Tombstoned(c int) map[int32]bool {
 	return t
 }
 
+// DetachOverlay serializes the live mutation overlay (EncodeAppendLog)
+// and removes it from the index, leaving the packed base lists behind.
+// Recovery uses it to split a checkpoint snapshot into the part the
+// engine deploys over (base lists, exactly as they were at deploy time)
+// and the overlay it re-adopts afterwards via DecodeAppendLog.
+func (ix *Index) DetachOverlay() []byte {
+	log := ix.EncodeAppendLog()
+	ix.mut = nil
+	return log
+}
+
 // HasMutations reports whether any uncompacted insert or delete exists.
 func (ix *Index) HasMutations() bool {
 	return ix.mut != nil && (ix.mut.nAppend > 0 || ix.mut.nTomb > 0)

@@ -2,7 +2,9 @@ package ivf
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
+	"slices"
 	"testing"
 )
 
@@ -75,6 +77,132 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("missing file must fail")
+	}
+}
+
+// TestSaveLoadMutatedOverlay is the regression test for the silent
+// overlay loss: insert → save → load → search must serve the inserted
+// points and keep tombstoned ones dead.
+func TestSaveLoadMutatedOverlay(t *testing.T) {
+	ix, s := smallIndex(t, "pq")
+	// Live mutations: a handful of fresh inserts and deletes of base ids.
+	for qi := 0; qi < 6; qi++ {
+		if _, err := ix.Insert(int32(100000+qi), s.Queries.Vec(qi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int32{3, 77, 1999} {
+		if _, _, err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ix.HasMutations() {
+		t.Fatal("fixture has no mutations")
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasMutations() {
+		t.Fatal("overlay lost in save/load round trip")
+	}
+	if !slices.Equal(loaded.LiveIDs(), ix.LiveIDs()) {
+		t.Fatal("live id set changed across save/load")
+	}
+	for qi := 0; qi < 16; qi++ {
+		want := ix.SearchInt(s.Queries.Vec(qi), 8, 5)
+		got := loaded.SearchInt(s.Queries.Vec(qi), 8, 5)
+		if !slices.Equal(got, want) {
+			t.Fatalf("query %d: loaded mutated index diverges: %v vs %v", qi, got, want)
+		}
+	}
+	// The inserted points must actually be findable, and the tombstoned
+	// ones must stay dead.
+	if c, ok := loaded.WhereIs(100000); !ok {
+		t.Fatal("inserted id 100000 lost after load")
+	} else if wc, _ := ix.WhereIs(100000); wc != c {
+		t.Fatalf("inserted id 100000 moved cluster: %d vs %d", c, wc)
+	}
+	if _, ok := loaded.WhereIs(77); ok {
+		t.Fatal("tombstoned id 77 resurrected by load")
+	}
+
+	// The legacy v1 format cannot represent the overlay: writing it
+	// from a mutated index is an explicit error, not silent data loss.
+	if err := ix.SaveV1(&bytes.Buffer{}); err == nil {
+		t.Fatal("SaveV1 of a mutated index must fail")
+	}
+}
+
+// TestSaveV1LegacyRoundTrip pins that v1 images still load.
+func TestSaveV1LegacyRoundTrip(t *testing.T) {
+	for _, variant := range []string{"pq", "opq"} {
+		ix, s := smallIndex(t, variant)
+		var buf bytes.Buffer
+		if err := ix.SaveV1(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 8; qi++ {
+			want := ix.SearchInt(s.Queries.Vec(qi), 8, 5)
+			got := loaded.SearchInt(s.Queries.Vec(qi), 8, 5)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s query %d: v1 round trip diverges", variant, qi)
+			}
+		}
+	}
+}
+
+// TestV2DetectsBitFlips checks the per-section CRCs: flipping any
+// single byte of a v2 image must fail Load instead of deserializing
+// garbage.
+func TestV2DetectsBitFlips(t *testing.T) {
+	ix, s := smallIndex(t, "pq")
+	if _, err := ix.Insert(100001, s.Queries.Vec(0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for pos := 0; pos < len(img); pos += 13 {
+		bad := append([]byte{}, img...)
+		bad[pos] ^= 0x04
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d of %d went undetected", pos, len(img))
+		}
+	}
+}
+
+// TestSaveFileLeavesNoTemp pins the atomic save path: repeated saves
+// over the same path leave exactly the index file, no temp droppings.
+func TestSaveFileLeavesNoTemp(t *testing.T) {
+	ix, _ := smallIndex(t, "pq")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.drim")
+	for i := 0; i < 2; i++ {
+		if err := ix.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.drim" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 
 	"drimann/internal/core"
 	"drimann/internal/dataset"
+	"drimann/internal/durable"
 	"drimann/internal/topk"
 )
 
@@ -79,6 +80,15 @@ type Options struct {
 	// early-launch policy uses before the first real measurement. Default
 	// 1ms.
 	ServiceTimeGuess time.Duration
+	// Durability, when non-nil, write-ahead-logs every mutation at the
+	// batch boundary where mutations already serialize: Insert/Delete
+	// apply to the engine, append one record to the store's WAL, and
+	// sync per the store's policy before acknowledging — so a mutation
+	// whose call returned nil survives a crash (core.Recover replays
+	// the log). Compact additionally writes a fresh checkpoint and
+	// rotates the log. The server takes ownership of the store: Close
+	// syncs and closes it after draining.
+	Durability *durable.Store
 }
 
 func (o *Options) defaults(eng *core.Engine) {
@@ -376,26 +386,110 @@ func (s *Server) Exclusive(fn func() error) error {
 
 // Insert routes Engine.Insert through Exclusive: the new points are
 // PQ-encoded into their clusters' append segments between launches and are
-// visible to every query batched after the call returns.
+// visible to every query batched after the call returns. With durability
+// configured, the applied points are appended to the WAL and synced per
+// the store's policy before the call returns: a nil return means the
+// batch survives a crash.
 func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
-	return s.Exclusive(func() error { return s.eng.Insert(vecs, ids) })
+	if s.opt.Durability == nil {
+		return s.Exclusive(func() error { return s.eng.Insert(vecs, ids) })
+	}
+	return s.Exclusive(func() error {
+		// Apply point-by-point so a mid-batch failure (duplicate id,
+		// bad dimension) still logs exactly the applied prefix: the WAL
+		// always reproduces the engine state it acknowledges, even on
+		// an error return.
+		applied := 0
+		var applyErr error
+		for i := range ids {
+			one := dataset.U8Set{N: 1, D: vecs.D, Data: vecs.Data[i*vecs.D : (i+1)*vecs.D]}
+			if applyErr = s.eng.Insert(one, ids[i:i+1]); applyErr != nil {
+				break
+			}
+			applied++
+		}
+		if applied > 0 {
+			rec, err := durable.EncodeInsert(ids[:applied], vecs.D, vecs.Data[:applied*vecs.D])
+			if err == nil {
+				err = s.opt.Durability.Append(rec)
+			}
+			if err == nil {
+				err = s.opt.Durability.BatchEnd()
+			}
+			if err != nil {
+				// Applied but not durably logged: the mutation is NOT
+				// acknowledged (a crash may forget it).
+				return fmt.Errorf("serve: insert applied but not durable: %w", err)
+			}
+		}
+		return applyErr
+	})
 }
 
 // Delete routes Engine.Delete through Exclusive; the ids are gone from
-// every query batched after the call returns.
+// every query batched after the call returns, durably so (see Insert)
+// when a store is configured.
 func (s *Server) Delete(ids []int32) error {
-	return s.Exclusive(func() error { return s.eng.Delete(ids) })
+	if s.opt.Durability == nil {
+		return s.Exclusive(func() error { return s.eng.Delete(ids) })
+	}
+	return s.Exclusive(func() error {
+		applied := 0
+		var applyErr error
+		for i := range ids {
+			if applyErr = s.eng.Delete(ids[i : i+1]); applyErr != nil {
+				break
+			}
+			applied++
+		}
+		if applied > 0 {
+			err := s.opt.Durability.Append(durable.EncodeDelete(ids[:applied]))
+			if err == nil {
+				err = s.opt.Durability.BatchEnd()
+			}
+			if err != nil {
+				return fmt.Errorf("serve: delete applied but not durable: %w", err)
+			}
+		}
+		return applyErr
+	})
 }
 
 // Compact routes Engine.Compact through Exclusive, folding the mutation
-// overlay back into the packed layout between launches.
+// overlay back into the packed layout between launches. With durability
+// configured it then writes a fresh checkpoint and rotates the WAL —
+// the log never grows past one compaction cycle.
 func (s *Server) Compact() error {
-	return s.Exclusive(func() error { return s.eng.Compact() })
+	return s.Exclusive(func() error {
+		if err := s.eng.Compact(); err != nil {
+			return err
+		}
+		if s.opt.Durability != nil {
+			if err := s.opt.Durability.Checkpoint(s.eng.Snapshot); err != nil {
+				return fmt.Errorf("serve: post-compact checkpoint: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// Checkpoint writes a fresh snapshot (current overlay included) and
+// rotates the WAL, without compacting. No-op without a durability
+// store. Runs at the batch boundary like every other mutation.
+func (s *Server) Checkpoint() error {
+	if s.opt.Durability == nil {
+		return nil
+	}
+	return s.Exclusive(func() error {
+		return s.opt.Durability.Checkpoint(s.eng.Snapshot)
+	})
 }
 
 // Close seals admission, waits for every already-admitted request to be
-// answered, and stops the batcher. Safe to call multiple times and
-// concurrently; later calls wait for the first to finish draining.
+// answered, and stops the batcher; a configured durability store is
+// synced and closed once the batcher has stopped (no mutation can be in
+// flight then). Safe to call multiple times and concurrently; later
+// calls wait for the first to finish draining.
 func (s *Server) Close() error {
 	s.admission.Lock()
 	if s.closed {
@@ -409,6 +503,9 @@ func (s *Server) Close() error {
 	// admission read lock across the select), so the queue is final.
 	close(s.closeCh)
 	<-s.loopDone
+	if s.opt.Durability != nil {
+		return s.opt.Durability.Close()
+	}
 	return nil
 }
 
