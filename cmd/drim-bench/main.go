@@ -29,6 +29,22 @@
 // Compare runs with e.g.
 // `jq '.[] | {timestamp, go_max_procs, speedup_vs_prev_entry, wall_qps}' BENCH_core.json`.
 //
+// -backend selects the engine under test for -bench: "ivf" (default, the
+// DRIM-ANN IVF-PQ engine) or "graph" (the beam-search graph-traversal
+// backend on the same simulated hardware). Graph entries are tagged
+// backend:"graph" in the trajectory and only compare against graph
+// entries.
+//
+// Head-to-head mode (-headtohead) runs BOTH backends over one corpus and
+// records each backend's recall-vs-simulated-QPS curve, with every query
+// driven through the online serving path: the IVF engine sweeps nprobe,
+// the graph engine sweeps its search beam width over a single build. One
+// backend-tagged mode:"headtohead" entry per curve point lands in the
+// trajectory file (recall@10, simulated and wall QPS, build seconds):
+//
+//	drim-bench -headtohead                           # 100k x 128d, 1k queries
+//	drim-bench -headtohead -n 20000 -queries 200     # smoke scale
+//
 // Serving-layer mode (-serve) drives the online micro-batching server
 // (drimann.NewServer) with a closed-loop load generator instead of one
 // offline SearchBatch: -clients concurrent callers issue single queries
@@ -110,6 +126,8 @@ func main() {
 		dpus       = flag.Int("dpus", 0, "override simulated DPU count")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
 		selfBench  = flag.Bool("bench", false, "benchmark the simulator itself (wall clock) instead of running experiments")
+		backend    = flag.String("backend", "ivf", "-bench/-headtohead: engine backend (ivf or graph)")
+		headToHead = flag.Bool("headtohead", false, "head-to-head backend comparison: recall@10 vs simulated QPS for IVF-PQ and graph through the serving path")
 		benchOut   = flag.String("benchout", "BENCH_core.json", "trajectory file appended to by -bench/-serve")
 		benchRuns  = flag.Int("benchruns", 3, "repetitions per -bench measurement (best is recorded)")
 		benchProcs = flag.String("benchprocs", "1,max", "comma-separated GOMAXPROCS sweep for -bench (max = NumCPU)")
@@ -130,6 +148,33 @@ func main() {
 		serveDur   = flag.Duration("servedur", 5*time.Second, "-serve: measurement window")
 	)
 	flag.Parse()
+
+	// Enum-valued flags are validated up front: a typo'd policy or backend
+	// must abort with the valid options, never fall back silently.
+	for _, c := range []struct {
+		name, value string
+		valid       []string
+	}{
+		{"-assign", *assignFlag, []string{"hash", "kmeans"}},
+		{"-backend", *backend, []string{"ivf", "graph"}},
+	} {
+		if err := validateChoice(c.name, c.value, c.valid); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *headToHead {
+		if *selfBench || *serveBench || *small || *expFlag != "" {
+			fmt.Fprintln(os.Stderr, "drim-bench: -headtohead excludes -bench/-serve/-small/-exp (use -n/-queries/-dpus)")
+			os.Exit(2)
+		}
+		if err := runHeadToHead(*n, *queries, *dpus, *seed, *benchRuns, *benchNote, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replicas > 0 {
 		if *selfBench || *serveBench || *small || *expFlag != "" {
@@ -200,7 +245,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "drim-bench: -small and -exp do not apply to -bench (use -n/-queries/-dpus)")
 			os.Exit(2)
 		}
-		if err := runSelfBench(*n, *queries, *dpus, *seed, *benchRuns, *benchProcs, *benchNote, *benchOut); err != nil {
+		if err := runSelfBench(*n, *queries, *dpus, *seed, *benchRuns, *benchProcs, *backend, *benchNote, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "drim-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -23,6 +23,11 @@ import (
 type benchEntry struct {
 	// Note is free-form context for the entry (what changed in this PR).
 	Note string `json:"note,omitempty"`
+	// Backend tags which engine produced the entry: "" (legacy and
+	// default) is the IVF-PQ engine, "graph" the beam-search graph
+	// backend. Cross-PR comparisons only match entries with the same
+	// backend tag, so IVF history keeps comparing against IVF.
+	Backend string `json:"backend,omitempty"`
 	// Mode distinguishes entry kinds: "" (legacy/default) is the offline
 	// -bench measurement, "serve" the -serve closed-loop load-generator
 	// measurement over the online serving layer, "cluster" the -shards
@@ -181,6 +186,32 @@ type benchEntry struct {
 	SyncedMutQPS   float64 `json:"synced_mut_qps,omitempty"`
 	UnsyncedMutQPS float64 `json:"unsynced_mut_qps,omitempty"`
 	RecoverSec     float64 `json:"recover_seconds,omitempty"`
+
+	// Head-to-head fields (mode == "headtohead"): one entry per (backend,
+	// curve point) of the -headtohead recall-vs-QPS sweep, all queries
+	// driven through the online serving path. CurveParam names the knob
+	// being swept (IVF: "nprobe"; graph: "beam"), CurveValue its setting,
+	// Recall10 the recall@10 against exact ground truth; SimQPS above is
+	// the modeled PIM throughput at that point and WallQPS the wall-clock
+	// throughput through the server. BuildSec is the one-time index/graph
+	// construction cost of the backend (repeated on every entry of the
+	// sweep for self-containedness). SpeedupVsPrev compares SimQPS against
+	// the previous comparable entry (same backend, param and value).
+	CurveParam string  `json:"curve_param,omitempty"`
+	CurveValue int     `json:"curve_value,omitempty"`
+	Recall10   float64 `json:"recall_at_10,omitempty"`
+	BuildSec   float64 `json:"build_seconds,omitempty"`
+}
+
+// validateChoice rejects a flag value outside its closed set of valid
+// options, naming them — enum flags must fail loudly, not fall back.
+func validateChoice(flagName, value string, valid []string) error {
+	for _, v := range valid {
+		if value == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s %q (valid: %s)", flagName, value, strings.Join(valid, ", "))
 }
 
 // parseProcsList parses the -benchprocs flag: a comma-separated GOMAXPROCS
@@ -216,10 +247,12 @@ func parseProcsList(spec string) ([]int, error) {
 }
 
 // runSelfBench measures the simulator's own wall-clock speed — the pipelined
-// engine vs the serial reference path plus the batched CL stage alone — once
-// per GOMAXPROCS value in the sweep, and appends one entry per value to the
-// trajectory file at outPath.
-func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, outPath string) error {
+// engine vs the serial reference path plus, on the IVF backend, the batched
+// CL stage alone — once per GOMAXPROCS value in the sweep, and appends one
+// entry per value to the trajectory file at outPath. backend selects the
+// engine under test ("ivf" or "graph"); graph entries carry a backend tag
+// and only ever compare against graph entries.
+func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, backend, note, outPath string) error {
 	if n <= 0 {
 		n = 100000
 	}
@@ -238,6 +271,9 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, o
 	procs, err := parseProcsList(procsSpec)
 	if err != nil {
 		return err
+	}
+	if backend == "graph" {
+		return runGraphSelfBench(n, queries, dpus, seed, runs, procs, note, outPath)
 	}
 
 	fmt.Printf("drim-bench self-benchmark: N=%d queries=%d DPUs=%d procs=%v runs=%d\n",
@@ -370,21 +406,28 @@ func runSelfBench(n, queries, dpus int, seed int64, runs int, procsSpec, note, o
 	return nil
 }
 
-// lastComparable returns the most recent prior entry of the same mode
-// measuring the same fixture shape at the same GOMAXPROCS — and, per mode,
-// the same configuration: serve entries must match the load-generator
-// setup, cluster entries the shard count and assignment policy. Entries of
-// different modes never compare (an offline -bench second count and a
-// cluster scatter-gather second count are different phenomena even on the
-// same fixture), so speedup_vs_prev_entry always tracks like against like.
+// lastComparable returns the most recent prior entry of the same mode and
+// backend measuring the same fixture shape at the same GOMAXPROCS — and,
+// per mode, the same configuration: serve entries must match the
+// load-generator setup, cluster entries the shard count and assignment
+// policy, head-to-head entries the swept knob and its value. Entries of
+// different modes or backends never compare (an offline -bench second
+// count and a cluster scatter-gather second count are different phenomena
+// even on the same fixture, and a graph traversal is never comparable to
+// an IVF scan), so speedup_vs_prev_entry always tracks like against like.
 func lastComparable(prior []benchEntry, e benchEntry) *benchEntry {
 	for i := len(prior) - 1; i >= 0; i-- {
 		p := &prior[i]
-		if p.Mode != e.Mode || p.GoMaxProcs != e.GoMaxProcs || p.N != e.N ||
-			p.D != e.D || p.Queries != e.Queries || p.DPUs != e.DPUs {
+		if p.Mode != e.Mode || p.Backend != e.Backend || p.GoMaxProcs != e.GoMaxProcs ||
+			p.N != e.N || p.D != e.D || p.Queries != e.Queries || p.DPUs != e.DPUs {
 			continue
 		}
 		switch e.Mode {
+		case "headtohead":
+			if p.CurveParam == e.CurveParam && p.CurveValue == e.CurveValue && p.SimQPS > 0 {
+				return p
+			}
+			continue
 		case "serve":
 			if p.Clients == e.Clients && p.TargetQPS == e.TargetQPS &&
 				p.MaxWaitMS == e.MaxWaitMS && p.MaxBatch == e.MaxBatch && p.AchievedQPS > 0 {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestLastComparableModeIsolation pins the trajectory-comparison rules:
 // speedup_vs_prev_entry must never compare entries across modes, and
@@ -25,7 +28,13 @@ func TestLastComparableModeIsolation(t *testing.T) {
 		HedgedP99MS: 3.0})
 	rec := shape(benchEntry{Timestamp: "t6", Mode: "recovery", MutCount: 1125,
 		RecoverSec: 0.8})
-	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km, rep22, rec}
+	gbench := shape(benchEntry{Timestamp: "t7", Backend: "graph", PipelinedSec: 2.0})
+	h2hIVF := shape(benchEntry{Timestamp: "t8", Mode: "headtohead", Backend: "ivf",
+		CurveParam: "nprobe", CurveValue: 32, SimQPS: 4000})
+	h2hGraph := shape(benchEntry{Timestamp: "t9", Mode: "headtohead", Backend: "graph",
+		CurveParam: "beam", CurveValue: 32, SimQPS: 1500})
+	prior := []benchEntry{bench, serve, cl2hash, cl7hash, cl2km, rep22, rec,
+		gbench, h2hIVF, h2hGraph}
 
 	cases := []struct {
 		name string
@@ -65,6 +74,17 @@ func TestLastComparableModeIsolation(t *testing.T) {
 			MutCount: 2250, RecoverSec: 0.5}), ""},
 		{"recovery never matches bench", shape(benchEntry{Mode: "recovery",
 			MutCount: 0, RecoverSec: 0.5}), ""},
+		{"ivf bench never matches graph bench", shape(benchEntry{PipelinedSec: 0.9}), "t0"},
+		{"graph bench matches graph bench only", shape(benchEntry{Backend: "graph",
+			PipelinedSec: 1.8}), "t7"},
+		{"headtohead matches same backend+knob", shape(benchEntry{Mode: "headtohead",
+			Backend: "ivf", CurveParam: "nprobe", CurveValue: 32, SimQPS: 4100}), "t8"},
+		{"headtohead backend isolates", shape(benchEntry{Mode: "headtohead",
+			Backend: "graph", CurveParam: "beam", CurveValue: 32, SimQPS: 1600}), "t9"},
+		{"headtohead curve value isolates", shape(benchEntry{Mode: "headtohead",
+			Backend: "ivf", CurveParam: "nprobe", CurveValue: 64, SimQPS: 4100}), ""},
+		{"headtohead never matches plain bench", shape(benchEntry{Mode: "headtohead",
+			Backend: "graph", CurveParam: "beam", CurveValue: 16, SimQPS: 1600}), ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -84,5 +104,33 @@ func TestLastComparableModeIsolation(t *testing.T) {
 	off.DPUs = 128
 	if lastComparable(prior, off) != nil {
 		t.Fatal("different fixture shape must not match")
+	}
+}
+
+// TestValidateChoice pins the enum-flag validation: a valid value passes,
+// anything else — including the empty string and a case mismatch — fails
+// with an error naming the flag and listing the valid options.
+func TestValidateChoice(t *testing.T) {
+	for _, v := range []string{"hash", "kmeans"} {
+		if err := validateChoice("-assign", v, []string{"hash", "kmeans"}); err != nil {
+			t.Fatalf("%q rejected: %v", v, err)
+		}
+	}
+	for _, v := range []string{"", "khash", "Hash", "kmeans ", "graph"} {
+		err := validateChoice("-assign", v, []string{"hash", "kmeans"})
+		if err == nil {
+			t.Fatalf("%q accepted, want error", v)
+		}
+		for _, want := range []string{"-assign", "hash", "kmeans"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not mention %q", err, want)
+			}
+		}
+	}
+	if err := validateChoice("-backend", "graph", []string{"ivf", "graph"}); err != nil {
+		t.Fatalf("graph backend rejected: %v", err)
+	}
+	if err := validateChoice("-backend", "hnsw", []string{"ivf", "graph"}); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

@@ -42,6 +42,47 @@
 // GOMAXPROCS sweep) for cross-PR comparison; see cmd/drim-bench for the
 // entry schema.
 //
+// # Backends
+//
+// The serving stack is not married to IVF-PQ. Every layer above the engine
+// — the micro-batching Server, the sharded Cluster, replication and
+// durability — programs against the backend contract in internal/engine: a
+// SearchEngine answers batched top-k queries (SearchBatch) and reports its
+// shape (K, Dim, MaxBatch); everything else is an optional capability
+// discovered by type assertion (probed search, mutation, snapshots,
+// replication, memory reporting). Two backends implement the contract:
+//
+//   - the IVF-PQ engine (NewEngine), DRIM-ANN's own design: streaming
+//     cluster scans with PQ-compressed codes, host-side cluster locating,
+//     and every optional capability — mutable, snapshottable, shardable;
+//   - the graph engine (NewGraphEngine), a Vamana/HNSW-style beam-search
+//     traversal over a pruned proximity graph, the competing ANN design
+//     the paper positions against. It is search-only (no mutation, no
+//     probed search); the serving layers detect this and return
+//     ErrUnsupported from the operations it cannot serve.
+//
+// How to pick: IVF-PQ compresses the corpus ~Dim/M-fold and streams
+// contiguous lists, so it fits large corpora in per-DPU MRAM and its
+// simulated cost is dominated by sequential scans the paper's buffering
+// optimizations amortize; recall is capped by PQ quantization error.
+// The graph backend stores full vectors plus adjacency (no compression —
+// corpus size is bounded by the 64 MB per-DPU MRAM) and reaches higher
+// recall at the same k, but every traversal hop is a dependent, unbuffered
+// MRAM access paying full DMA setup latency, the access pattern PIM
+// hardware is worst at. Both backends run on the same simulated UPMEM
+// system and cost model, so their SimSeconds/QPS are directly comparable —
+// that is the point. Cost-model caveats for the comparison: the graph
+// simulation replicates the whole graph on every DPU (no sharded
+// traversal), assigns each query to one DPU (parallelism across queries,
+// not within one), and models no WRAM caching of hot nodes — each is a
+// deliberate simplification that favors neither backend's phase
+// accounting but understates what a tuned real implementation of either
+// could do. `drim-bench -headtohead` records both backends'
+// recall-vs-simulated-QPS curves through the serving path into
+// BENCH_core.json; the conformance suite in internal/engine pins the
+// contract behaviors (determinism, result order, empty batches, serving
+// integration) for every backend.
+//
 // # Online serving
 //
 // SearchBatch is an offline primitive: one caller, one pre-assembled query
@@ -236,6 +277,8 @@ import (
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/durable"
+	"drimann/internal/engine"
+	"drimann/internal/graph"
 	"drimann/internal/ivf"
 	"drimann/internal/pq"
 	"drimann/internal/serve"
@@ -299,10 +342,41 @@ func Build(base Vectors, opt IndexOptions) (*Index, error) {
 	})
 }
 
+// SearchEngine is the backend contract every serving layer programs
+// against: batched top-k search plus the engine's shape (K, Dim,
+// MaxBatch). *Engine and *GraphEngine both satisfy it; see the "Backends"
+// section of the package documentation.
+type SearchEngine = engine.Engine
+
+// EngineMetrics re-exports the backend-shared metrics type (identical to
+// Metrics; both alias internal/engine's).
+type EngineMetrics = engine.Metrics
+
 // Engine is a DRIM-ANN instance: an index deployed across a simulated
 // UPMEM DRAM-PIM system with the paper's layout and scheduling
 // optimizations.
 type Engine = core.Engine
+
+// GraphEngine is the beam-search graph-traversal backend: a Vamana-style
+// pruned proximity graph over full uint8 vectors, searched by greedy beam
+// traversal on the same simulated PIM system. Search-only: it implements
+// SearchEngine (plus replication and memory reporting) but none of the
+// mutation or probed-search capabilities.
+type GraphEngine = graph.Engine
+
+// GraphOptions configures the graph backend (degree bound, build/search
+// beam widths, pruning slack, simulated system size).
+type GraphOptions = graph.Options
+
+// DefaultGraphOptions returns the graph backend's default configuration.
+func DefaultGraphOptions() GraphOptions { return graph.DefaultOptions() }
+
+// NewGraphEngine builds the proximity graph over the corpus and deploys it
+// onto the simulated PIM system. The build is deterministic; the corpus
+// (vectors plus adjacency) must fit per-DPU MRAM.
+func NewGraphEngine(base Vectors, opts GraphOptions) (*GraphEngine, error) {
+	return graph.New(base, opts)
+}
 
 // EngineOptions configures the engine; see DefaultEngineOptions.
 type EngineOptions = core.Options
@@ -353,10 +427,12 @@ type ServerResponse = serve.Response
 // admission.
 var ErrServerClosed = serve.ErrClosed
 
-// NewServer starts the online serving layer over eng. The server becomes
-// the engine's only driver: do not call eng.SearchBatch concurrently with
-// a live server.
-func NewServer(eng *Engine, opt ServerOptions) (*Server, error) {
+// NewServer starts the online serving layer over any backend satisfying
+// the SearchEngine contract. The server becomes the engine's only driver:
+// do not call eng.SearchBatch concurrently with a live server. Operations
+// the backend lacks the capability for (Insert/Delete/Compact on a
+// search-only backend) return serve.ErrUnsupported.
+func NewServer(eng SearchEngine, opt ServerOptions) (*Server, error) {
 	return serve.New(eng, opt)
 }
 

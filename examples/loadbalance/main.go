@@ -5,6 +5,12 @@
 // traffic does: concurrent clients submit single queries through the
 // online serving layer (drimann.NewServer), whose micro-batcher assembles
 // the engine launches; the table reports the aggregated simulated metrics.
+//
+// Layout balancing is an IVF-backend concern: clusters have wildly unequal
+// heat, so where they live decides which DPU stalls. The graph backend
+// (see "Backends" in the package docs) replicates the whole graph on every
+// DPU and spreads queries round-robin, so it has no layout to balance —
+// and nothing to show here.
 package main
 
 import (

@@ -1,5 +1,6 @@
 // Quickstart: build a DRIM-ANN index over a synthetic SIFT-shaped corpus,
 // deploy it on the simulated UPMEM DRAM-PIM system, run a query batch,
+// compare it head-to-head against the graph backend on the same corpus,
 // serve single queries online through the micro-batching server, scale out
 // across a sharded scatter-gather fleet, and mask an injected straggler
 // with replica hedging.
@@ -62,7 +63,30 @@ func main() {
 	fmt.Printf("recall@10 = %.3f\n", drimann.Recall(gt, res.IDs, 10))
 	fmt.Printf("query 0 -> %v\n", res.IDs[0])
 
-	// 6. Online serving: wrap the engine in the deadline-aware
+	// 6. The same corpus on the other backend: a Vamana-style beam-search
+	//    graph engine priced on the same simulated PIM cost model, behind
+	//    the same engine contract (see "Backends" in the package docs).
+	//    Head-to-head against the IVF numbers from steps 4-5 — the graph
+	//    trades build time and mutability for recall per unit of simulated
+	//    work. `drim-bench -headtohead` sweeps both accuracy knobs.
+	gopts := drimann.DefaultGraphOptions()
+	gopts.NumDPUs = 128
+	gopts.K = 10
+	geng, err := drimann.NewGraphEngine(corpus.Base, gopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gres, err := geng.SearchBatch(corpus.Queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("head-to-head over %d queries:\n", corpus.Queries.N)
+	fmt.Printf("  ivf   nprobe=%-3d recall@10=%.3f  %8.0f QPS (simulated)\n",
+		opts.NProbe, drimann.Recall(gt, res.IDs, 10), res.Metrics.QPS)
+	fmt.Printf("  graph beam=%-5d recall@10=%.3f  %8.0f QPS (simulated)\n",
+		gopts.SearchBeam, drimann.Recall(gt, gres.IDs, 10), gres.Metrics.QPS)
+
+	// 7. Online serving: wrap the engine in the deadline-aware
 	//    micro-batching server and submit single queries from concurrent
 	//    goroutines, the way live traffic arrives. Per-query results are
 	//    bit-identical to the offline batch above.
@@ -101,7 +125,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 7. Scale out: partition the same index across 4 shard engines (the
+	// 8. Scale out: partition the same index across 4 shard engines (the
 	//    rack-scale deployment — each shard simulates its own PIM system)
 	//    and search through the scatter-gather front. Under AssignKMeans the
 	//    front door runs coarse locate once and contacts only the shards
@@ -132,7 +156,7 @@ func main() {
 	fmt.Printf("selective scatter: mean fan-out %.2f / max %d of 4 shards\n",
 		cstats.Route.MeanFanout(), cstats.Route.MaxFanout)
 
-	// 8. Replication masks the tail: the same index across 2 shards with 2
+	// 9. Replication masks the tail: the same index across 2 shards with 2
 	//    replicas each. Replicas are deterministic engine clones, so any
 	//    replica's answer is its shard's answer — the front door routes each
 	//    query to the less loaded replica, and hedges to the other when the
@@ -186,11 +210,13 @@ func main() {
 	fmt.Printf("replicated fleet (2 shards x 2 replicas, straggler injected): %d queries, %d hedges (%d won), results identical: %v\n",
 		rst.Completed, rst.Hedged, rst.HedgeWins, !diverged.Load())
 
-	// 9. Live mutability: the index stays mutable after deployment. Insert a
-	//    new point (assigned to its nearest cluster and PQ-encoded with the
-	//    frozen codebooks, findable by the very next search), delete it
-	//    again, and Compact — after which results are bit-identical to the
-	//    never-mutated engine of step 4.
+	// 10. Live mutability: the IVF index stays mutable after deployment
+	//     (the graph backend is search-only — a serving-path mutation would
+	//     return serve.ErrUnsupported). Insert a new point (assigned to its
+	//     nearest cluster and PQ-encoded with the frozen codebooks, findable
+	//     by the very next search), delete it again, and Compact — after
+	//     which results are bit-identical to the never-mutated engine of
+	//     step 4.
 	newID := int32(corpus.Base.N)
 	newVec := drimann.Vectors{N: 1, D: corpus.Base.D, Data: corpus.Queries.Vec(7)}
 	if err := eng.Insert(newVec, []int32{newID}); err != nil {
@@ -219,7 +245,7 @@ func main() {
 	}
 	fmt.Printf("after insert -> delete -> compact, results identical to step 4: %v\n", identical)
 
-	// 10. Durability: attach a write-ahead-logged store, mutate through the
+	// 11. Durability: attach a write-ahead-logged store, mutate through the
 	//     serving layer (applied, then logged, then synced — that's what
 	//     "acknowledged" means), kill the process, and recover from disk
 	//     alone. The recovered engine serves bit-identical results to the

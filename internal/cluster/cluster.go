@@ -55,6 +55,7 @@ import (
 
 	"drimann/internal/core"
 	"drimann/internal/dataset"
+	"drimann/internal/engine"
 	"drimann/internal/ivf"
 	"drimann/internal/topk"
 	"drimann/internal/vecmath"
@@ -107,15 +108,18 @@ func (o *Options) defaults() error {
 	return nil
 }
 
-// Shard is one partition: its replica engines over the shard's sub-index
-// plus the monotone local→global ID table.
+// Shard is one partition: its replica engines over the shard's slice of
+// the corpus plus the monotone local→global ID table. Engines are held by
+// backend contract (engine.Engine) so a fleet can run the IVF engine or
+// any other backend; the IVF-only paths (selective scatter, mutation,
+// durability) discover the extra surface by type assertion.
 type Shard struct {
 	// Engine is replica 0 — the engine offline scatter-gather uses.
-	Engine *core.Engine
+	Engine engine.Engine
 	// Engines holds every replica engine (Engines[0] == Engine). Replicas
-	// are built from the same sub-index with the same options, so they are
+	// are built from the same deployment with the same options, so they are
 	// interchangeable: any replica's answer is the shard's answer.
-	Engines []*core.Engine
+	Engines []engine.Engine
 	// table maps shard-local point IDs to corpus-global IDs. It is
 	// copy-on-write behind an atomic pointer: the routed front door remaps
 	// merged results on caller goroutines concurrently with live mutations,
@@ -135,6 +139,31 @@ func (sh *Shard) GlobalIDs() []int32 { return *sh.table.Load() }
 
 func (sh *Shard) setTable(t []int32) { sh.table.Store(&t) }
 
+// ivfEngine is the backend surface the selective-scatter, mutation and
+// durability paths need beyond the serving contract; only the IVF engine
+// provides it today.
+type ivfEngine interface {
+	engine.ProbedSearcher
+	engine.Mutable
+	CompactRemap(remap []int32) error
+	Index() *ivf.Index
+	Locator() *core.Locator
+}
+
+// ivf returns the shard's replica-0 engine as the extended IVF surface,
+// nil when the fleet runs a different backend.
+func (sh *Shard) ivf() ivfEngine {
+	e, _ := sh.Engine.(ivfEngine)
+	return e
+}
+
+// IVF returns the shard's replica-0 engine as the concrete IVF engine, or
+// nil when the fleet serves a different backend (inspection and tests).
+func (sh *Shard) IVF() *core.Engine {
+	e, _ := sh.Engine.(*core.Engine)
+	return e
+}
+
 // Offset returns the shard's global-ID offset — the corpus ID of its first
 // owned point (0 for an empty shard). The full GlobalIDs table handles
 // non-contiguous ownership; the offset is the derived summary callers use
@@ -151,7 +180,8 @@ func (sh *Shard) Offset() int32 {
 type Cluster struct {
 	shards []*Shard
 	opt    Options
-	ix     *ivf.Index // the shared (unsharded) index; quantizer source
+	ix     *ivf.Index // the shared (unsharded) index; nil for non-IVF fleets
+	dim    int        // vector dimensionality (from ix or the engines)
 
 	// loc is the front-door CL stage (borrowed from shard 0's engine — all
 	// shard engines share the full centroid directory and the same options,
@@ -253,7 +283,10 @@ func (cl *Cluster) Stats() Stats {
 	st := Stats{Selective: cl.Selective(), Shards: make([]ShardMemStats, len(cl.shards))}
 	cl.mu.Lock()
 	for s, sh := range cl.shards {
-		mf := sh.Engine.MemoryFootprint()
+		var mf engine.MemoryFootprint
+		if mr, ok := sh.Engine.(engine.MemoryReporter); ok {
+			mf = mr.MemoryFootprint()
+		}
 		r := len(sh.Engines)
 		st.Shards[s] = ShardMemStats{
 			Points:          sh.Points,
@@ -565,21 +598,18 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 		}
 		// Replica 0 builds the deployment (layout, decomposition terms,
 		// locator); further replicas share all of that read-only state and
-		// only add private simulated hardware and scratch (core.NewReplica)
-		// instead of cloning the whole deployment R times.
-		engines := make([]*core.Engine, opt.Replicas)
-		for r := range engines {
-			var eng *core.Engine
-			var err error
-			if r == 0 {
-				eng, err = core.New(sub, profile, opt.Engine)
-			} else {
-				eng, err = core.NewReplica(engines[0])
-			}
-			if err != nil {
+		// only add private simulated hardware and scratch (the backend's
+		// engine.Replicable hook) instead of cloning the deployment R times.
+		engines := make([]engine.Engine, opt.Replicas)
+		eng0, err := core.New(sub, profile, opt.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d engine: %w", s, err)
+		}
+		engines[0] = eng0
+		for r := 1; r < opt.Replicas; r++ {
+			if engines[r], err = eng0.NewReplica(); err != nil {
 				return nil, fmt.Errorf("cluster: shard %d replica %d engine: %w", s, r, err)
 			}
-			engines[r] = eng
 		}
 		cl.shards[s] = &Shard{
 			Engine: engines[0], Engines: engines,
@@ -593,7 +623,7 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 	// iff its sub-index holds a non-empty local list for c.
 	owners := make([][]int32, ix.NList)
 	for s, sh := range cl.shards {
-		sub := sh.Engine.Index()
+		sub := sh.ivf().Index()
 		for c := range sub.Lists {
 			if len(sub.Lists[c]) > 0 {
 				owners[c] = append(owners[c], int32(s))
@@ -601,7 +631,59 @@ func New(ix *ivf.Index, profile dataset.U8Set, opt Options) (*Cluster, error) {
 		}
 	}
 	cl.storeOwners(owners)
-	cl.loc = cl.shards[0].Engine.Locator()
+	cl.loc = cl.shards[0].ivf().Locator()
+	return cl, nil
+}
+
+// FromEngines assembles a broadcast fleet from pre-built backend engines —
+// one replica slice per shard (replica 0 first; all slices the same
+// length) — plus each shard's strictly increasing local→global ID table.
+// This is how a non-IVF backend (the graph engine, say) runs under the
+// same scatter-gather front: each shard serves an arbitrary partition of
+// the corpus in a compact local ID space, every query broadcasts to all
+// shards (no cluster structure means no selective scatter), and the merged
+// result is bit-identical to a single engine built over the union. The
+// assembled fleet is immutable and non-durable — live mutation and the
+// fleet store need the IVF routing state only New and RecoverCluster
+// build — and Options.Engine is ignored (the engines are already built).
+func FromEngines(shardEngines [][]engine.Engine, tables [][]int32, opt Options) (*Cluster, error) {
+	if len(shardEngines) == 0 {
+		return nil, fmt.Errorf("cluster: no shard engines")
+	}
+	if len(tables) != len(shardEngines) {
+		return nil, fmt.Errorf("cluster: %d ID tables for %d shards", len(tables), len(shardEngines))
+	}
+	switch opt.Assignment {
+	case "", AssignHash:
+		opt.Assignment = AssignHash
+	default:
+		return nil, fmt.Errorf("cluster: assignment %q requires the IVF backend (use New)", opt.Assignment)
+	}
+	opt.Shards = len(shardEngines)
+	opt.Replicas = len(shardEngines[0])
+	cl := &Cluster{opt: opt, shards: make([]*Shard, len(shardEngines))}
+	for s, engines := range shardEngines {
+		if len(engines) == 0 || engines[0] == nil {
+			return nil, fmt.Errorf("cluster: shard %d has no engine", s)
+		}
+		if len(engines) != opt.Replicas {
+			return nil, fmt.Errorf("cluster: shard %d has %d replicas, shard 0 has %d", s, len(engines), opt.Replicas)
+		}
+		if d := engines[0].Dim(); d != shardEngines[0][0].Dim() {
+			return nil, fmt.Errorf("cluster: shard %d dim %d != shard 0 dim %d", s, d, shardEngines[0][0].Dim())
+		}
+		if k := engines[0].K(); k != shardEngines[0][0].K() {
+			return nil, fmt.Errorf("cluster: shard %d k %d != shard 0 k %d", s, k, shardEngines[0][0].K())
+		}
+		if err := core.ValidateRemapTable(tables[s]); err != nil {
+			return nil, err
+		}
+		sh := &Shard{Engine: engines[0], Engines: engines, Points: len(tables[s])}
+		sh.setTable(tables[s])
+		cl.shards[s] = sh
+	}
+	cl.dim = cl.shards[0].Engine.Dim()
+	cl.storeOwners(make([][]int32, 0))
 	return cl, nil
 }
 
@@ -646,14 +728,20 @@ func (cl *Cluster) Shards() []*Shard { return cl.shards }
 // Replicas reports the configured replication factor R.
 func (cl *Cluster) Replicas() int { return cl.opt.Replicas }
 
-// Index returns the shared unsharded index the fleet was partitioned from.
+// Index returns the shared unsharded index the fleet was partitioned from
+// (nil for fleets assembled from non-IVF engines via FromEngines).
 func (cl *Cluster) Index() *ivf.Index { return cl.ix }
 
 // K reports the per-shard engines' configured neighbors-per-query.
 func (cl *Cluster) K() int { return cl.shards[0].Engine.K() }
 
 // Dim reports the vector dimensionality queries must match.
-func (cl *Cluster) Dim() int { return cl.ix.Dim }
+func (cl *Cluster) Dim() int {
+	if cl.ix != nil {
+		return cl.ix.Dim
+	}
+	return cl.dim
+}
 
 // SearchBatch scatters the query batch across the shards, gathers the
 // per-shard partial top-k lists, remaps local IDs to global IDs, and merges
@@ -669,8 +757,8 @@ func (cl *Cluster) Dim() int { return cl.ix.Dim }
 // front-door CL cost exactly once (overlapped with shard compute, as the
 // engine's own pipeline models it).
 func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
-	if queries.D != cl.ix.Dim {
-		return nil, fmt.Errorf("cluster: query dim %d != index dim %d", queries.D, cl.ix.Dim)
+	if queries.D != cl.Dim() {
+		return nil, fmt.Errorf("cluster: query dim %d != index dim %d", queries.D, cl.Dim())
 	}
 	results := make([]*core.Result, len(cl.shards))
 	errs := make([]error, len(cl.shards))
@@ -689,7 +777,7 @@ func (cl *Cluster) SearchBatch(queries dataset.U8Set) (*core.Result, error) {
 			wg.Add(1)
 			go func(s int, sh *Shard, ps core.ProbeSet) {
 				defer wg.Done()
-				results[s], errs[s] = sh.Engine.SearchBatchProbed(queries, ps, false)
+				results[s], errs[s] = sh.ivf().SearchBatchProbed(queries, ps, false)
 			}(s, sh, perShard[s])
 		}
 	} else {

@@ -9,7 +9,7 @@ import (
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
-	"drimann/internal/pq"
+	"drimann/internal/testutil"
 	"drimann/internal/topk"
 )
 
@@ -18,20 +18,12 @@ import (
 // assignment policies see uneven inverted lists.
 func testFixture(t testing.TB, n, queries int) (*ivf.Index, *dataset.Synth) {
 	t.Helper()
-	s := dataset.Generate(dataset.SynthConfig{
-		Name: "cluster", N: n, D: 64, NumQueries: queries,
+	ix, s := testutil.Fixture(t, testutil.FixtureSpec{
+		Name: "cluster", N: n, D: 64, Queries: queries,
 		NumClusters: 40, Seed: 7, Noise: 9,
+		NList: 64, M: 16, CB: 256, KMeansIters: 6, TrainSample: 3000,
+		BuildSeed: 7,
 	})
-	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
-		NList:       64,
-		PQ:          pq.Config{M: 16, CB: 256},
-		KMeansIters: 6,
-		TrainSample: 3000,
-		Seed:        7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	return ix, s
 }
 

@@ -38,6 +38,7 @@ import (
 	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/durable"
+	"drimann/internal/engine"
 	"drimann/internal/ivf"
 )
 
@@ -238,7 +239,7 @@ func (cl *Cluster) shardSnapshot(s int) func(w io.Writer) error {
 		if err := writeIDSection(w, owned); err != nil {
 			return err
 		}
-		return sh.Engine.Index().Save(w)
+		return sh.ivf().Index().Save(w)
 	}
 }
 
@@ -270,6 +271,9 @@ func parseShardSnapshot(img []byte) (table, owned []int32, ixBytes []byte, err e
 func CreateFleetStore(cl *Cluster, opt durable.Options) (*FleetStore, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if err := cl.requireIVF(); err != nil {
+		return nil, err
+	}
 	if cl.fstore != nil {
 		return nil, fmt.Errorf("cluster: fleet store already attached")
 	}
@@ -459,7 +463,7 @@ func RecoverCluster(opt durable.Options, profile dataset.U8Set, copt Options) (*
 	// (identical) quantizer tables, so shard 0's stand in for the
 	// original unsharded index — post-build the cluster only uses its
 	// quantizers (AssignVec, Centroid, scratch), never its lists.
-	sub0 := cl.shards[0].Engine.Index()
+	sub0 := cl.shards[0].ivf().Index()
 	cl.ix = &ivf.Index{
 		Dim: sub0.Dim, NList: sub0.NList, M: sub0.M, CB: sub0.CB,
 		Centroids:   sub0.Centroids,
@@ -492,16 +496,17 @@ func RecoverCluster(opt durable.Options, profile dataset.U8Set, copt Options) (*
 		}
 	}
 	for s, sh := range cl.shards {
-		engines := make([]*core.Engine, copt.Replicas)
+		engines := make([]engine.Engine, copt.Replicas)
 		engines[0] = sh.Engine
+		rep, _ := sh.Engine.(engine.Replicable)
 		for r := 1; r < copt.Replicas; r++ {
-			if engines[r], err = core.NewReplica(engines[0]); err != nil {
+			if engines[r], err = rep.NewReplica(); err != nil {
 				return nil, nil, fmt.Errorf("cluster: recover shard %d replica %d: %w", s, r, err)
 			}
 		}
 		sh.Engines = engines
 	}
-	cl.loc = cl.shards[0].Engine.Locator()
+	cl.loc = cl.shards[0].ivf().Locator()
 	cl.fstore = fst
 	if err := cl.checkpointShards(); err != nil {
 		return nil, nil, err
@@ -530,7 +535,7 @@ func (cl *Cluster) replayShardWAL(s int, recs [][]byte) error {
 				tbl := sh.GlobalIDs()
 				local := int32(len(tbl))
 				one := dataset.U8Set{N: 1, D: m.Dim, Data: m.Vecs[j*m.Dim : (j+1)*m.Dim]}
-				if err := sh.Engine.Insert(one, []int32{local}); err != nil {
+				if err := sh.ivf().Insert(one, []int32{local}); err != nil {
 					return fmt.Errorf("cluster: shard %d WAL record %d replay: %w", s, i, err)
 				}
 				newTbl := make([]int32, len(tbl)+1)
@@ -539,7 +544,7 @@ func (cl *Cluster) replayShardWAL(s int, recs [][]byte) error {
 				sh.setTable(newTbl)
 				sh.Points++
 				cl.g2l[s][g] = local
-				c, ok := sh.Engine.Index().WhereIs(local)
+				c, ok := sh.ivf().Index().WhereIs(local)
 				if !ok {
 					return fmt.Errorf("cluster: shard %d lost replayed local id %d", s, local)
 				}
@@ -551,7 +556,7 @@ func (cl *Cluster) replayShardWAL(s int, recs [][]byte) error {
 				if !ok {
 					return fmt.Errorf("cluster: shard %d WAL record %d: delete of unknown id %d", s, i, g)
 				}
-				if err := sh.Engine.Delete([]int32{local}); err != nil {
+				if err := sh.ivf().Delete([]int32{local}); err != nil {
 					return fmt.Errorf("cluster: shard %d WAL record %d replay: %w", s, i, err)
 				}
 				delete(cl.g2l[s], g)

@@ -65,7 +65,7 @@ func requireFleetEqual(t *testing.T, got, want *cluster.Cluster, queries dataset
 		if gs[s].Points != ws[s].Points {
 			t.Fatalf("%s: shard %d points %d, want %d", what, s, gs[s].Points, ws[s].Points)
 		}
-		if gm, wm := gs[s].Engine.MemoryFootprint(), ws[s].Engine.MemoryFootprint(); gm != wm {
+		if gm, wm := gs[s].IVF().MemoryFootprint(), ws[s].IVF().MemoryFootprint(); gm != wm {
 			t.Fatalf("%s: shard %d memory stats diverge: %+v vs %+v", what, s, gm, wm)
 		}
 	}
@@ -208,7 +208,7 @@ func corpusSet(cl *cluster.Cluster) map[int32]bool {
 	out := make(map[int32]bool)
 	for _, sh := range cl.Shards() {
 		tbl := sh.GlobalIDs()
-		for _, l := range sh.Engine.Index().LiveIDs() {
+		for _, l := range sh.IVF().Index().LiveIDs() {
 			out[tbl[l]] = true
 		}
 	}

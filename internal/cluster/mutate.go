@@ -17,11 +17,26 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"drimann/internal/dataset"
 )
+
+// ErrUnsupported is returned by Insert/Delete/Compact and CreateFleetStore
+// when the fleet was assembled from a backend without the IVF routing
+// state live mutation and durability need (see FromEngines).
+var ErrUnsupported = errors.New("cluster: backend does not support this operation")
+
+// requireIVF rejects mutation/durability calls on fleets whose backend
+// lacks the extended IVF surface. Callers hold cl.mu.
+func (cl *Cluster) requireIVF() error {
+	if cl.ix == nil || cl.shards[0].ivf() == nil {
+		return fmt.Errorf("cluster: fleet over backend %T: %w", cl.shards[0].Engine, ErrUnsupported)
+	}
+	return nil
+}
 
 // ensureG2L lazily builds the per-shard global→local maps (O(N) once) and
 // the front-door encode scratch. Callers hold cl.mu.
@@ -81,6 +96,9 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if err := cl.requireIVF(); err != nil {
+		return err
+	}
 	cl.ensureG2L()
 	var pend []pendingInserts
 	if cl.fstore != nil {
@@ -108,7 +126,7 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 		tbl := sh.GlobalIDs()
 		local := int32(len(tbl))
 		one := dataset.U8Set{N: 1, D: vecs.D, Data: vecs.Vec(i)}
-		if err := sh.Engine.Insert(one, []int32{local}); err != nil {
+		if err := sh.ivf().Insert(one, []int32{local}); err != nil {
 			applyErr = fmt.Errorf("cluster: shard %d: %w", s, err)
 			break
 		}
@@ -122,7 +140,7 @@ func (cl *Cluster) Insert(vecs dataset.U8Set, ids []int32) error {
 			pend[s].ids = append(pend[s].ids, id)
 			pend[s].vecs = append(pend[s].vecs, vecs.Vec(i)...)
 		}
-		c, ok := sh.Engine.Index().WhereIs(local)
+		c, ok := sh.ivf().Index().WhereIs(local)
 		if !ok {
 			applyErr = fmt.Errorf("cluster: shard %d lost inserted local id %d", s, local)
 			break
@@ -164,6 +182,9 @@ func (cl *Cluster) addOwner(c, s int32) {
 func (cl *Cluster) Delete(ids []int32) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if err := cl.requireIVF(); err != nil {
+		return err
+	}
 	cl.ensureG2L()
 	var pend [][]int32
 	if cl.fstore != nil {
@@ -177,7 +198,7 @@ func (cl *Cluster) Delete(ids []int32) error {
 			break
 		}
 		local := cl.g2l[s][id]
-		if err := cl.shards[s].Engine.Delete([]int32{local}); err != nil {
+		if err := cl.shards[s].ivf().Delete([]int32{local}); err != nil {
 			applyErr = fmt.Errorf("cluster: shard %d: %w", s, err)
 			break
 		}
@@ -204,6 +225,9 @@ func (cl *Cluster) Delete(ids []int32) error {
 func (cl *Cluster) Compact() error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if err := cl.requireIVF(); err != nil {
+		return err
+	}
 	cl.ensureG2L()
 	for s, sh := range cl.shards {
 		m := cl.g2l[s]
@@ -213,14 +237,14 @@ func (cl *Cluster) Compact() error {
 		}
 		sort.Slice(globals, func(i, j int) bool { return globals[i] < globals[j] })
 		oldTbl := sh.GlobalIDs()
-		if !sh.Engine.Index().HasMutations() && len(globals) == len(oldTbl) {
+		if !sh.ivf().Index().HasMutations() && len(globals) == len(oldTbl) {
 			continue // untouched shard: table already dense and monotone
 		}
 		remap := make([]int32, len(oldTbl))
 		for newLocal, g := range globals {
 			remap[m[g]] = int32(newLocal)
 		}
-		if err := sh.Engine.CompactRemap(remap); err != nil {
+		if err := sh.ivf().CompactRemap(remap); err != nil {
 			return fmt.Errorf("cluster: shard %d compact: %w", s, err)
 		}
 		sh.setTable(globals)
@@ -231,7 +255,7 @@ func (cl *Cluster) Compact() error {
 	}
 	owners := make([][]int32, cl.ix.NList)
 	for s, sh := range cl.shards {
-		sub := sh.Engine.Index()
+		sub := sh.ivf().Index()
 		for c := range sub.Lists {
 			if len(sub.Lists[c]) > 0 {
 				owners[c] = append(owners[c], int32(s))

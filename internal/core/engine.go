@@ -356,131 +356,6 @@ func (sc *dpuScratch) nextHeap(k int) *topk.Heap[uint32] {
 	return h
 }
 
-// Metrics reports the simulated cost of a SearchBatch call.
-type Metrics struct {
-	Queries     int
-	SimSeconds  float64 // end-to-end: sum over batches of max(host, PIM+xfer)
-	QPS         float64
-	HostSeconds float64 // host CL + merge (overlapped with PIM)
-	PIMSeconds  float64 // critical-path DPU time summed over launches
-	XferSeconds float64 // host<->PIM transfers + launch overhead
-
-	PhaseSeconds [upmem.NumPhases]float64 // per-phase critical path
-
-	// Aggregate per-phase counters summed over every DPU and launch: raw
-	// instruction cycles (pre pipeline scaling), DMA transfers issued
-	// (including coalesced random accesses) and bytes moved. They make the
-	// accounting auditable at full precision — the batched cost-tally path
-	// and the per-op reference accountant must agree on every element.
-	PhaseComputeCycles [upmem.NumPhases]uint64
-	PhaseDMACount      [upmem.NumPhases]uint64
-	PhaseDMABytes      [upmem.NumPhases]uint64
-
-	Launches int
-	Batches  int
-
-	ImbalanceSum float64 // summed per-launch max/mean (divide by Launches)
-	Postponed    int     // tasks deferred by overheat postponement
-
-	LockAcquired  uint64
-	LockSkipped   uint64
-	LUTBuilds     uint64
-	LUTReuses     uint64
-	PointsScanned uint64
-
-	// SQT16Hot/SQT16Cold are the tiered squaring-table lookups of this call
-	// (all DPUs), split by tier; zero when the 16-bit mode is off.
-	SQT16Hot  uint64
-	SQT16Cold uint64
-}
-
-// SQT16HitRate returns the fraction of this call's tiered-table lookups
-// served by the WRAM-resident hot window (1 when the mode is off).
-func (m *Metrics) SQT16HitRate() float64 {
-	if m.SQT16Hot+m.SQT16Cold == 0 {
-		return 1
-	}
-	return float64(m.SQT16Hot) / float64(m.SQT16Hot+m.SQT16Cold)
-}
-
-// AvgImbalance returns the mean per-launch max/mean DPU load ratio.
-func (m *Metrics) AvgImbalance() float64 {
-	if m.Launches == 0 {
-		return 1
-	}
-	return m.ImbalanceSum / float64(m.Launches)
-}
-
-// PhaseShare returns each phase's fraction of total PIM time (Figure 9).
-func (m *Metrics) PhaseShare() [upmem.NumPhases]float64 {
-	var out [upmem.NumPhases]float64
-	var total float64
-	for _, s := range m.PhaseSeconds {
-		total += s
-	}
-	if total == 0 {
-		return out
-	}
-	for p, s := range m.PhaseSeconds {
-		out[p] = s / total
-	}
-	return out
-}
-
-// Result carries the neighbors plus the simulation metrics.
-type Result struct {
-	IDs     [][]int32
-	Items   [][]topk.Item[uint32]
-	Metrics Metrics
-}
-
-// QueryResult is one query's slice of a Result: the neighbor IDs in the
-// deterministic (distance, id) order and the scored items behind them. The
-// slices are views into the Result, not copies; they stay valid after the
-// engine moves on to other batches.
-type QueryResult struct {
-	IDs   []int32
-	Items []topk.Item[uint32]
-}
-
-// Query slices out query qi's results — the demultiplexing primitive of the
-// online serving layer, which fans one SearchBatch across many callers.
-func (r *Result) Query(qi int) QueryResult {
-	return QueryResult{IDs: r.IDs[qi], Items: r.Items[qi]}
-}
-
-// Merge accumulates o into m: query counts, durations and every counter
-// sum; QPS is recomputed from the merged totals. The serving layer uses it
-// to aggregate per-launch SearchBatch metrics into a lifetime view whose
-// derived quantities (AvgImbalance, SQT16HitRate, PhaseShare) keep working.
-func (m *Metrics) Merge(o *Metrics) {
-	m.Queries += o.Queries
-	m.SimSeconds += o.SimSeconds
-	m.HostSeconds += o.HostSeconds
-	m.PIMSeconds += o.PIMSeconds
-	m.XferSeconds += o.XferSeconds
-	for p := range m.PhaseSeconds {
-		m.PhaseSeconds[p] += o.PhaseSeconds[p]
-		m.PhaseComputeCycles[p] += o.PhaseComputeCycles[p]
-		m.PhaseDMACount[p] += o.PhaseDMACount[p]
-		m.PhaseDMABytes[p] += o.PhaseDMABytes[p]
-	}
-	m.Launches += o.Launches
-	m.Batches += o.Batches
-	m.ImbalanceSum += o.ImbalanceSum
-	m.Postponed += o.Postponed
-	m.LockAcquired += o.LockAcquired
-	m.LockSkipped += o.LockSkipped
-	m.LUTBuilds += o.LUTBuilds
-	m.LUTReuses += o.LUTReuses
-	m.PointsScanned += o.PointsScanned
-	m.SQT16Hot += o.SQT16Hot
-	m.SQT16Cold += o.SQT16Cold
-	if m.SimSeconds > 0 {
-		m.QPS = float64(m.Queries) / m.SimSeconds
-	}
-}
-
 // New builds an engine: it sizes the PIM system, profiles cluster heat on
 // the provided profile queries (or falls back to cluster sizes), optimizes
 // the data layout, and checks that everything fits MRAM and WRAM.

@@ -6,6 +6,7 @@ import (
 	"drimann/internal/dataset"
 	"drimann/internal/ivf"
 	"drimann/internal/pq"
+	"drimann/internal/testutil"
 	"drimann/internal/upmem"
 )
 
@@ -22,18 +23,11 @@ func getFixture(t *testing.T) *fixture {
 	if sharedFixture != nil {
 		return sharedFixture
 	}
-	s := dataset.Generate(dataset.SynthConfig{
-		N: 6000, D: 16, NumQueries: 64, NumClusters: 32, Seed: 21, Noise: 10,
+	ix, s := testutil.Fixture(t, testutil.FixtureSpec{
+		N: 6000, D: 16, Queries: 64, NumClusters: 32, Seed: 21, Noise: 10,
 		ZipfS: 1.8, QuerySkew: 0.95,
+		NList: 48, M: 8, CB: 64, BuildSeed: 7,
 	})
-	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
-		NList: 48,
-		PQ:    pq.Config{M: 8, CB: 64},
-		Seed:  7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	sharedFixture = &fixture{s: s, ix: ix}
 	return sharedFixture
 }

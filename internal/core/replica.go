@@ -11,7 +11,10 @@
 
 package core
 
-import "drimann/internal/upmem"
+import (
+	"drimann/internal/engine"
+	"drimann/internal/upmem"
+)
 
 // NewReplica builds an engine that serves the same deployment as src:
 // bit-identical results and metrics, shared read-only state, private
@@ -52,16 +55,13 @@ func NewReplica(src *Engine) (*Engine, error) {
 
 // MemoryFootprint splits one engine's host-side memory into the read-only
 // bytes NewReplica shares across all replicas of a deployment and the
-// private bytes every additional replica costs.
-type MemoryFootprint struct {
-	// SharedBytes is the read-only deployment state: centroid directory
-	// (float and integer), integer PQ codebooks, inverted lists + codes,
-	// and the static decomposition terms. Allocated once regardless of R.
-	SharedBytes int64
-	// PerReplicaBytes is the private mutable state each replica carries:
-	// the SQT16 hot windows and the steady-state per-DPU launch scratch.
-	PerReplicaBytes int64
-}
+// private bytes every additional replica costs. For the IVF engine the
+// shared side is the centroid directory (float and integer), integer PQ
+// codebooks, inverted lists + codes and the static decomposition terms;
+// the per-replica side is the SQT16 hot windows and the steady-state
+// per-DPU launch scratch. The type is shared across backends (see
+// internal/engine) so the cluster layer accounts fleets uniformly.
+type MemoryFootprint = engine.MemoryFootprint
 
 // MemoryFootprint reports the engine's shared/per-replica byte split (see
 // MemoryFootprint). Structural sizes only — deterministic, not a heap

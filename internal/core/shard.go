@@ -82,53 +82,6 @@ func MergeShardTopK(k int, parts [][]topk.Item[uint32]) ([]int32, []topk.Item[ui
 	return ids, items
 }
 
-// MergeParallel accumulates o into m as a concurrently executing peer — the
-// cross-shard view of the cluster layer, where S engines process the same
-// query batch at the same time. Counters (launches, cycles, DMA, lock and
-// scan totals) sum across shards, but wall-like durations take the
-// elementwise max: the fleet finishes when its slowest shard does, so
-// SimSeconds, HostSeconds, PIMSeconds, XferSeconds and the per-phase
-// critical paths are max-over-shards, not sums. Queries also takes the max
-// (every shard sees the full batch; the fleet still answered it once). QPS
-// is recomputed from the merged totals. Compare Merge, the sequential
-// accumulator the serving layer uses across launches of one engine.
-func (m *Metrics) MergeParallel(o *Metrics) {
-	if o.Queries > m.Queries {
-		m.Queries = o.Queries
-	}
-	m.SimSeconds = maxf(m.SimSeconds, o.SimSeconds)
-	m.HostSeconds = maxf(m.HostSeconds, o.HostSeconds)
-	m.PIMSeconds = maxf(m.PIMSeconds, o.PIMSeconds)
-	m.XferSeconds = maxf(m.XferSeconds, o.XferSeconds)
-	for p := range m.PhaseSeconds {
-		m.PhaseSeconds[p] = maxf(m.PhaseSeconds[p], o.PhaseSeconds[p])
-		m.PhaseComputeCycles[p] += o.PhaseComputeCycles[p]
-		m.PhaseDMACount[p] += o.PhaseDMACount[p]
-		m.PhaseDMABytes[p] += o.PhaseDMABytes[p]
-	}
-	m.Launches += o.Launches
-	m.Batches += o.Batches
-	m.ImbalanceSum += o.ImbalanceSum
-	m.Postponed += o.Postponed
-	m.LockAcquired += o.LockAcquired
-	m.LockSkipped += o.LockSkipped
-	m.LUTBuilds += o.LUTBuilds
-	m.LUTReuses += o.LUTReuses
-	m.PointsScanned += o.PointsScanned
-	m.SQT16Hot += o.SQT16Hot
-	m.SQT16Cold += o.SQT16Cold
-	if m.SimSeconds > 0 {
-		m.QPS = float64(m.Queries) / m.SimSeconds
-	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ValidateRemapTable checks that a local→global ID table is strictly
 // increasing — the property RemapIDs/RemapItems rely on to preserve the
 // deterministic order. The cluster layer asserts this at build time.

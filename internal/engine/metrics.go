@@ -1,0 +1,159 @@
+package engine
+
+import "drimann/internal/upmem"
+
+// Metrics reports the simulated cost of a SearchBatch call. Every backend
+// fills the universal fields (Queries, SimSeconds, QPS, the host/PIM/xfer
+// split, launches, batches, imbalance, PointsScanned); the remaining
+// counters are backend-specific and stay zero where they don't apply (the
+// LUT and SQT16 groups are IVF-PQ's, for example). Keeping one metrics
+// type across backends is what makes head-to-head accounting possible: the
+// serving and cluster layers merge them without knowing which engine ran.
+type Metrics struct {
+	Queries     int
+	SimSeconds  float64 // end-to-end: sum over batches of max(host, PIM+xfer)
+	QPS         float64
+	HostSeconds float64 // host-side work (overlapped with PIM)
+	PIMSeconds  float64 // critical-path DPU time summed over launches
+	XferSeconds float64 // host<->PIM transfers + launch overhead
+
+	PhaseSeconds [upmem.NumPhases]float64 // per-phase critical path
+
+	// Aggregate per-phase counters summed over every DPU and launch: raw
+	// instruction cycles (pre pipeline scaling), DMA transfers issued
+	// (including coalesced random accesses) and bytes moved. They make the
+	// accounting auditable at full precision — the batched cost-tally path
+	// and the per-op reference accountant must agree on every element.
+	PhaseComputeCycles [upmem.NumPhases]uint64
+	PhaseDMACount      [upmem.NumPhases]uint64
+	PhaseDMABytes      [upmem.NumPhases]uint64
+
+	Launches int
+	Batches  int
+
+	ImbalanceSum float64 // summed per-launch max/mean (divide by Launches)
+	Postponed    int     // tasks deferred by overheat postponement
+
+	LockAcquired  uint64
+	LockSkipped   uint64
+	LUTBuilds     uint64
+	LUTReuses     uint64
+	PointsScanned uint64
+
+	// SQT16Hot/SQT16Cold are the tiered squaring-table lookups of this call
+	// (all DPUs), split by tier; zero when the 16-bit mode is off.
+	SQT16Hot  uint64
+	SQT16Cold uint64
+}
+
+// SQT16HitRate returns the fraction of this call's tiered-table lookups
+// served by the WRAM-resident hot window (1 when the mode is off).
+func (m *Metrics) SQT16HitRate() float64 {
+	if m.SQT16Hot+m.SQT16Cold == 0 {
+		return 1
+	}
+	return float64(m.SQT16Hot) / float64(m.SQT16Hot+m.SQT16Cold)
+}
+
+// AvgImbalance returns the mean per-launch max/mean DPU load ratio.
+func (m *Metrics) AvgImbalance() float64 {
+	if m.Launches == 0 {
+		return 1
+	}
+	return m.ImbalanceSum / float64(m.Launches)
+}
+
+// PhaseShare returns each phase's fraction of total PIM time (Figure 9).
+func (m *Metrics) PhaseShare() [upmem.NumPhases]float64 {
+	var out [upmem.NumPhases]float64
+	var total float64
+	for _, s := range m.PhaseSeconds {
+		total += s
+	}
+	if total == 0 {
+		return out
+	}
+	for p, s := range m.PhaseSeconds {
+		out[p] = s / total
+	}
+	return out
+}
+
+// Merge accumulates o into m: query counts, durations and every counter
+// sum; QPS is recomputed from the merged totals. The serving layer uses it
+// to aggregate per-launch SearchBatch metrics into a lifetime view whose
+// derived quantities (AvgImbalance, SQT16HitRate, PhaseShare) keep working.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Queries += o.Queries
+	m.SimSeconds += o.SimSeconds
+	m.HostSeconds += o.HostSeconds
+	m.PIMSeconds += o.PIMSeconds
+	m.XferSeconds += o.XferSeconds
+	for p := range m.PhaseSeconds {
+		m.PhaseSeconds[p] += o.PhaseSeconds[p]
+		m.PhaseComputeCycles[p] += o.PhaseComputeCycles[p]
+		m.PhaseDMACount[p] += o.PhaseDMACount[p]
+		m.PhaseDMABytes[p] += o.PhaseDMABytes[p]
+	}
+	m.Launches += o.Launches
+	m.Batches += o.Batches
+	m.ImbalanceSum += o.ImbalanceSum
+	m.Postponed += o.Postponed
+	m.LockAcquired += o.LockAcquired
+	m.LockSkipped += o.LockSkipped
+	m.LUTBuilds += o.LUTBuilds
+	m.LUTReuses += o.LUTReuses
+	m.PointsScanned += o.PointsScanned
+	m.SQT16Hot += o.SQT16Hot
+	m.SQT16Cold += o.SQT16Cold
+	if m.SimSeconds > 0 {
+		m.QPS = float64(m.Queries) / m.SimSeconds
+	}
+}
+
+// MergeParallel accumulates o into m as a concurrently executing peer — the
+// cross-shard view of the cluster layer, where S engines process the same
+// query batch at the same time. Counters (launches, cycles, DMA, lock and
+// scan totals) sum across shards, but wall-like durations take the
+// elementwise max: the fleet finishes when its slowest shard does, so
+// SimSeconds, HostSeconds, PIMSeconds, XferSeconds and the per-phase
+// critical paths are max-over-shards, not sums. Queries also takes the max
+// (every shard sees the full batch; the fleet still answered it once). QPS
+// is recomputed from the merged totals. Compare Merge, the sequential
+// accumulator the serving layer uses across launches of one engine.
+func (m *Metrics) MergeParallel(o *Metrics) {
+	if o.Queries > m.Queries {
+		m.Queries = o.Queries
+	}
+	m.SimSeconds = maxf(m.SimSeconds, o.SimSeconds)
+	m.HostSeconds = maxf(m.HostSeconds, o.HostSeconds)
+	m.PIMSeconds = maxf(m.PIMSeconds, o.PIMSeconds)
+	m.XferSeconds = maxf(m.XferSeconds, o.XferSeconds)
+	for p := range m.PhaseSeconds {
+		m.PhaseSeconds[p] = maxf(m.PhaseSeconds[p], o.PhaseSeconds[p])
+		m.PhaseComputeCycles[p] += o.PhaseComputeCycles[p]
+		m.PhaseDMACount[p] += o.PhaseDMACount[p]
+		m.PhaseDMABytes[p] += o.PhaseDMABytes[p]
+	}
+	m.Launches += o.Launches
+	m.Batches += o.Batches
+	m.ImbalanceSum += o.ImbalanceSum
+	m.Postponed += o.Postponed
+	m.LockAcquired += o.LockAcquired
+	m.LockSkipped += o.LockSkipped
+	m.LUTBuilds += o.LUTBuilds
+	m.LUTReuses += o.LUTReuses
+	m.PointsScanned += o.PointsScanned
+	m.SQT16Hot += o.SQT16Hot
+	m.SQT16Cold += o.SQT16Cold
+	if m.SimSeconds > 0 {
+		m.QPS = float64(m.Queries) / m.SimSeconds
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

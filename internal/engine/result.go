@@ -1,0 +1,25 @@
+package engine
+
+import "drimann/internal/topk"
+
+// Result carries the neighbors plus the simulation metrics.
+type Result struct {
+	IDs     [][]int32
+	Items   [][]topk.Item[uint32]
+	Metrics Metrics
+}
+
+// QueryResult is one query's slice of a Result: the neighbor IDs in the
+// deterministic (distance, id) order and the scored items behind them. The
+// slices are views into the Result, not copies; they stay valid after the
+// engine moves on to other batches.
+type QueryResult struct {
+	IDs   []int32
+	Items []topk.Item[uint32]
+}
+
+// Query slices out query qi's results — the demultiplexing primitive of the
+// online serving layer, which fans one SearchBatch across many callers.
+func (r *Result) Query(qi int) QueryResult {
+	return QueryResult{IDs: r.IDs[qi], Items: r.Items[qi]}
+}

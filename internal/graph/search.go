@@ -1,0 +1,187 @@
+// Query-time simulation: batches of queries round-robin across DPUs, each
+// query traversing the full graph held in its DPU's MRAM. The charging is
+// intentionally random-access-heavy — every adjacency fetch and every
+// candidate vector fetch is its own fixed-size DMA with full setup latency
+// (there is nothing contiguous to stream) — and the launch accounting
+// mirrors internal/core byte-for-byte: per-launch max-DPU cycles for PIM
+// time, TransferSeconds for the bus, SimSeconds += max(host, max(pim,
+// xfer)) per batch.
+
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"drimann/internal/dataset"
+	"drimann/internal/engine"
+	"drimann/internal/topk"
+	"drimann/internal/upmem"
+)
+
+// SearchBatch searches every query and returns neighbors plus metrics
+// (engine.Engine). Results are deterministic: the traversal itself is
+// sequential per query, and queries are statically assigned to DPUs.
+func (e *Engine) SearchBatch(queries dataset.U8Set) (*engine.Result, error) {
+	if queries.N > 0 && queries.D != e.base.D {
+		return nil, fmt.Errorf("graph: query dim %d != index dim %d", queries.D, e.base.D)
+	}
+	res := &engine.Result{
+		IDs:   make([][]int32, queries.N),
+		Items: make([][]topk.Item[uint32], queries.N),
+	}
+	m := &res.Metrics
+	m.Queries = queries.N
+	for lo := 0; lo < queries.N; lo += e.opts.BatchSize {
+		hi := lo + e.opts.BatchSize
+		if hi > queries.N {
+			hi = queries.N
+		}
+		e.runLaunch(queries, lo, hi, res, m)
+	}
+	if m.SimSeconds > 0 {
+		m.QPS = float64(queries.N) / m.SimSeconds
+	}
+	return res, nil
+}
+
+// runLaunch simulates one synchronous launch over queries[lo:hi): query qi
+// runs on DPU (qi-lo) mod NumDPUs. DPUs simulate in parallel (bounded by
+// Workers) over private scratch; tallies flush to the system sequentially,
+// so metrics do not depend on goroutine interleaving.
+func (e *Engine) runLaunch(queries dataset.U8Set, lo, hi int, res *engine.Result, m *engine.Metrics) {
+	e.sys.ResetCounters()
+	e.sys.Launch()
+	nq := hi - lo
+	// Host -> DPU: each query vector ships to exactly one DPU.
+	e.sys.TransferToDPUs(uint64(nq * queries.D))
+
+	nd := e.opts.NumDPUs
+	workers := e.opts.Workers
+	if workers > nd {
+		workers = nd
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for d := w; d < nd; d += workers {
+				e.runDPU(queries, lo, hi, d, res)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Flush per-DPU tallies and gather result sizes in DPU order.
+	mergeItems := 0
+	var fromDev uint64
+	var evals uint64
+	for d := 0; d < nd; d++ {
+		sc := &e.scratch[d]
+		e.sys.DPUs[d].ApplyTally(&sc.tally)
+		evals += sc.evals
+		sc.evals = 0
+		sc.tally.Reset()
+		for qi := lo + d; qi < hi; qi += nd {
+			k := len(res.Items[qi])
+			mergeItems += k
+			fromDev += uint64(k * 8) // (id, dist) per neighbor
+		}
+	}
+	e.sys.TransferFromDPUs(fromDev)
+	m.PointsScanned += evals
+
+	pimSec := e.sys.Cfg.Seconds(e.sys.MaxDPUCycles())
+	xferSec := e.sys.TransferSeconds()
+	for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+		m.PhaseSeconds[p] += e.sys.Cfg.Seconds(e.sys.PhaseCyclesMax(p))
+	}
+	for _, d := range e.sys.DPUs {
+		for p := upmem.Phase(0); p < upmem.NumPhases; p++ {
+			st := d.Stats(p)
+			m.PhaseComputeCycles[p] += st.ComputeCycles
+			m.PhaseDMACount[p] += st.DMACount
+			m.PhaseDMABytes[p] += st.DMABytes
+		}
+	}
+	m.Launches++
+	m.XferSeconds += xferSec
+	m.PIMSeconds += pimSec
+	m.ImbalanceSum += e.sys.Imbalance()
+
+	hostSec := e.hostMergeSeconds(mergeItems)
+	m.HostSeconds += hostSec
+	m.SimSeconds += math.Max(hostSec, math.Max(pimSec, xferSec))
+	m.Batches++
+}
+
+// runDPU traverses the graph for every query assigned to DPU d, charging
+// the DPU's tally and writing final per-query results.
+func (e *Engine) runDPU(queries dataset.U8Set, lo, hi, d int, res *engine.Result) {
+	sc := &e.scratch[d]
+	cost := &e.sys.Cfg.Cost
+	beam := e.opts.SearchBeam
+	// Per-dimension distance cost: subtract, square (SQT lookup or software
+	// multiply), accumulate.
+	perDim := uint64(2) + e.opts.SQTAccessCycles
+	if !e.opts.UseSQT {
+		perDim = 2 + cost.MulCycles
+	}
+	logBeam := uint64(log2ceil(beam))
+	for qi := lo + d; qi < hi; qi += e.opts.NumDPUs {
+		st := e.beamSearch(sc, queries.Vec(qi), e.medoid, beam, nil)
+		sc.evals += uint64(st.evals)
+
+		// RC: one unbuffered DMA per hop for the node's fixed-size
+		// adjacency record (count + Degree slots), plus the visited-stamp
+		// check per scanned neighbor.
+		adjBytes := uint64((1 + e.opts.Degree) * 4)
+		for h := 0; h < st.hops; h++ {
+			sc.tally.DMA(upmem.PhaseRC, adjBytes)
+		}
+		scanned := uint64(st.hops * e.opts.Degree)
+		sc.tally.Charge(cost, upmem.PhaseRC, upmem.OpLoad, scanned)
+		sc.tally.Charge(cost, upmem.PhaseRC, upmem.OpCmp, scanned)
+
+		// DC: one unbuffered DMA per evaluated candidate for its full
+		// vector — the traversal's dominant cost — plus the arithmetic.
+		for ev := 0; ev < st.evals; ev++ {
+			sc.tally.DMA(upmem.PhaseDC, uint64(e.base.D))
+		}
+		sc.tally.ChargeCycles(upmem.PhaseDC, uint64(st.evals)*uint64(e.base.D)*perDim)
+
+		// TS: sorted-pool insertion per evaluated candidate (binary probe
+		// of the beam plus the shift/store).
+		sc.tally.ChargeCycles(upmem.PhaseTS, uint64(st.evals)*(logBeam+2))
+
+		k := e.opts.K
+		if k > len(sc.pool) {
+			k = len(sc.pool)
+		}
+		items := append([]topk.Item[uint32](nil), sc.pool[:k]...)
+		ids := make([]int32, k)
+		for j, it := range items {
+			ids[j] = it.ID
+		}
+		res.IDs[qi] = ids
+		res.Items[qi] = items
+	}
+}
+
+// hostMergeSeconds models the host-side demux/merge of returned top-k
+// lists — the same formula core charges for its merge stage.
+func (e *Engine) hostMergeSeconds(items int) float64 {
+	h := e.opts.Host
+	ops := float64(items) * float64(log2ceil(e.opts.K)+1)
+	return ops / (float64(h.Threads) * h.FreqGHz * 1e9)
+}
+
+func log2ceil(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}

@@ -10,9 +10,8 @@ import (
 
 	"drimann/internal/core"
 	"drimann/internal/dataset"
-	"drimann/internal/ivf"
-	"drimann/internal/pq"
 	"drimann/internal/serve"
+	"drimann/internal/testutil"
 )
 
 // testEngine builds a small shared fixture: a clustered synthetic corpus,
@@ -21,20 +20,12 @@ import (
 // one server after another.
 func testEngine(t testing.TB, n, queries int) (*core.Engine, *dataset.Synth) {
 	t.Helper()
-	s := dataset.Generate(dataset.SynthConfig{
-		Name: "serve", N: n, D: 64, NumQueries: queries,
+	ix, s := testutil.Fixture(t, testutil.FixtureSpec{
+		Name: "serve", N: n, D: 64, Queries: queries,
 		NumClusters: 48, Seed: 11, Noise: 9,
+		NList: 64, M: 16, CB: 256, KMeansIters: 6, TrainSample: 3000,
+		BuildSeed: 11,
 	})
-	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
-		NList:       64,
-		PQ:          pq.Config{M: 16, CB: 256},
-		KMeansIters: 6,
-		TrainSample: 3000,
-		Seed:        11,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	opts := core.DefaultOptions()
 	opts.NumDPUs = 16
 	opts.NProbe = 8

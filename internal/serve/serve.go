@@ -1,5 +1,7 @@
 // Package serve is DRIM-ANN's online serving layer: a concurrent,
-// deadline-aware dynamic micro-batcher over the pipelined core.Engine.
+// deadline-aware dynamic micro-batcher over any backend implementing the
+// engine.Engine contract (the pipelined IVF-PQ engine of internal/core,
+// the beam-search graph engine of internal/graph).
 //
 // The engine's SearchBatch is an offline primitive — one caller, one
 // pre-assembled query set. Real ANN traffic (the paper's target workload)
@@ -54,11 +56,16 @@ import (
 	"sync/atomic"
 	"time"
 
-	"drimann/internal/core"
 	"drimann/internal/dataset"
 	"drimann/internal/durable"
+	"drimann/internal/engine"
 	"drimann/internal/topk"
 )
+
+// ErrUnsupported is returned when an operation needs a backend capability
+// (mutation, probed search, snapshotting) the served engine does not
+// implement.
+var ErrUnsupported = errors.New("serve: backend does not support this operation")
 
 // ErrClosed is returned by Search once Close has stopped admission.
 var ErrClosed = errors.New("serve: server closed")
@@ -91,7 +98,7 @@ type Options struct {
 	Durability *durable.Store
 }
 
-func (o *Options) defaults(eng *core.Engine) {
+func (o *Options) defaults(eng engine.Engine) {
 	// Clamp to the engine's scheduling batch size: a larger MaxBatch would
 	// silently split each launch into several scheduling batches inside the
 	// engine, so the "launch" the deadline EWMA and the BatchSize stats
@@ -145,9 +152,9 @@ type Stats struct {
 	AvgLatency time.Duration
 
 	// Sim aggregates the engine's simulated metrics over every launch this
-	// server issued (core.Metrics.Merge), so AvgImbalance, PhaseShare and
+	// server issued (engine.Metrics.Merge), so AvgImbalance, PhaseShare and
 	// friends work on the lifetime view.
-	Sim core.Metrics
+	Sim engine.Metrics
 }
 
 type reply struct {
@@ -178,11 +185,17 @@ type request struct {
 }
 
 // Server coalesces concurrent single-query Search calls into dynamic
-// micro-batches over one core.Engine. Construct with New; all methods are
-// safe for concurrent use.
+// micro-batches over one backend engine. Construct with New; all methods
+// are safe for concurrent use.
 type Server struct {
-	eng *core.Engine
+	eng engine.Engine
 	opt Options
+
+	// Optional backend capabilities, discovered once at construction; nil
+	// when the backend doesn't implement them.
+	probed engine.ProbedSearcher
+	mut    engine.Mutable
+	snap   engine.Snapshotter
 
 	pending chan *request
 	// mutate is the Exclusive hand-off: unbuffered, so a mutation is only
@@ -223,18 +236,31 @@ type Server struct {
 	latencyNS int64
 
 	simMu sync.Mutex
-	sim   core.Metrics
+	sim   engine.Metrics
 }
 
-// New starts a server over eng. The server becomes the engine's only
-// driver: do not call eng.SearchBatch concurrently with a live server.
-func New(eng *core.Engine, opt Options) (*Server, error) {
+// New starts a server over eng — any backend implementing engine.Engine.
+// The server becomes the engine's only driver: do not call eng.SearchBatch
+// concurrently with a live server. Optional capabilities (probed search,
+// mutation, snapshotting) are discovered by type assertion; operations
+// needing a missing one fail with ErrUnsupported. Configuring Durability
+// requires a backend that is both Mutable and a Snapshotter.
+func New(eng engine.Engine, opt Options) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("serve: nil engine")
 	}
 	opt.defaults(eng)
+	probed, _ := eng.(engine.ProbedSearcher)
+	mut, _ := eng.(engine.Mutable)
+	snap, _ := eng.(engine.Snapshotter)
+	if opt.Durability != nil && (mut == nil || snap == nil) {
+		return nil, fmt.Errorf("serve: durability configured but backend %T is not mutable+snapshottable: %w", eng, ErrUnsupported)
+	}
 	s := &Server{
 		eng:      eng,
+		probed:   probed,
+		mut:      mut,
+		snap:     snap,
 		opt:      opt,
 		pending:  make(chan *request, opt.QueueLimit),
 		mutate:   make(chan *mutation),
@@ -287,7 +313,11 @@ func (s *Server) SearchOwned(ctx context.Context, q []uint8, k int) (Response, e
 // identical (the probes came from the same locator over the same shared
 // directory), only the CL attribution differs for that launch.
 func (s *Server) SearchProbedOwned(ctx context.Context, q []uint8, k int, probes []int32) (Response, error) {
-	nlist := s.eng.Index().NList
+	if s.probed == nil {
+		s.rejected.Add(1)
+		return Response{}, fmt.Errorf("serve: probed search on backend %T: %w", s.eng, ErrUnsupported)
+	}
+	nlist := s.probed.NumClusters()
 	for _, c := range probes {
 		if c < 0 || int(c) >= nlist {
 			s.rejected.Add(1)
@@ -384,15 +414,18 @@ func (s *Server) Exclusive(fn func() error) error {
 	return <-m.done
 }
 
-// Insert routes Engine.Insert through Exclusive: the new points are
+// Insert routes the backend's Insert through Exclusive: the new points are
 // PQ-encoded into their clusters' append segments between launches and are
 // visible to every query batched after the call returns. With durability
 // configured, the applied points are appended to the WAL and synced per
 // the store's policy before the call returns: a nil return means the
 // batch survives a crash.
 func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
+	if s.mut == nil {
+		return fmt.Errorf("serve: insert on backend %T: %w", s.eng, ErrUnsupported)
+	}
 	if s.opt.Durability == nil {
-		return s.Exclusive(func() error { return s.eng.Insert(vecs, ids) })
+		return s.Exclusive(func() error { return s.mut.Insert(vecs, ids) })
 	}
 	return s.Exclusive(func() error {
 		// Apply point-by-point so a mid-batch failure (duplicate id,
@@ -403,7 +436,7 @@ func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
 		var applyErr error
 		for i := range ids {
 			one := dataset.U8Set{N: 1, D: vecs.D, Data: vecs.Data[i*vecs.D : (i+1)*vecs.D]}
-			if applyErr = s.eng.Insert(one, ids[i:i+1]); applyErr != nil {
+			if applyErr = s.mut.Insert(one, ids[i:i+1]); applyErr != nil {
 				break
 			}
 			applied++
@@ -426,18 +459,21 @@ func (s *Server) Insert(vecs dataset.U8Set, ids []int32) error {
 	})
 }
 
-// Delete routes Engine.Delete through Exclusive; the ids are gone from
+// Delete routes the backend's Delete through Exclusive; the ids are gone from
 // every query batched after the call returns, durably so (see Insert)
 // when a store is configured.
 func (s *Server) Delete(ids []int32) error {
+	if s.mut == nil {
+		return fmt.Errorf("serve: delete on backend %T: %w", s.eng, ErrUnsupported)
+	}
 	if s.opt.Durability == nil {
-		return s.Exclusive(func() error { return s.eng.Delete(ids) })
+		return s.Exclusive(func() error { return s.mut.Delete(ids) })
 	}
 	return s.Exclusive(func() error {
 		applied := 0
 		var applyErr error
 		for i := range ids {
-			if applyErr = s.eng.Delete(ids[i : i+1]); applyErr != nil {
+			if applyErr = s.mut.Delete(ids[i : i+1]); applyErr != nil {
 				break
 			}
 			applied++
@@ -455,17 +491,20 @@ func (s *Server) Delete(ids []int32) error {
 	})
 }
 
-// Compact routes Engine.Compact through Exclusive, folding the mutation
+// Compact routes the backend's Compact through Exclusive, folding the mutation
 // overlay back into the packed layout between launches. With durability
 // configured it then writes a fresh checkpoint and rotates the WAL —
 // the log never grows past one compaction cycle.
 func (s *Server) Compact() error {
+	if s.mut == nil {
+		return fmt.Errorf("serve: compact on backend %T: %w", s.eng, ErrUnsupported)
+	}
 	return s.Exclusive(func() error {
-		if err := s.eng.Compact(); err != nil {
+		if err := s.mut.Compact(); err != nil {
 			return err
 		}
 		if s.opt.Durability != nil {
-			if err := s.opt.Durability.Checkpoint(s.eng.Snapshot); err != nil {
+			if err := s.opt.Durability.Checkpoint(s.snap.Snapshot); err != nil {
 				return fmt.Errorf("serve: post-compact checkpoint: %w", err)
 			}
 		}
@@ -481,7 +520,7 @@ func (s *Server) Checkpoint() error {
 		return nil
 	}
 	return s.Exclusive(func() error {
-		return s.opt.Durability.Checkpoint(s.eng.Snapshot)
+		return s.opt.Durability.Checkpoint(s.snap.Snapshot)
 	})
 }
 
@@ -542,7 +581,7 @@ func (s *Server) Load() int {
 
 // Metrics returns the aggregated simulated engine metrics of every launch
 // this server issued.
-func (s *Server) Metrics() core.Metrics {
+func (s *Server) Metrics() engine.Metrics {
 	s.simMu.Lock()
 	defer s.simMu.Unlock()
 	return s.sim
@@ -708,9 +747,9 @@ func (s *Server) launch(batch []*request) {
 	qs := dataset.U8Set{N: live, D: dim, Data: s.qbuf}
 
 	t0 := time.Now()
-	var res *core.Result
+	var res *engine.Result
 	var err error
-	if allProbed {
+	if allProbed && s.probed != nil {
 		// Every member carries front-door probes: pack them (in batch order,
 		// each list already ascending-distance) and skip the CL stage.
 		s.psOff = append(s.psOff[:0], 0)
@@ -719,7 +758,7 @@ func (s *Server) launch(batch []*request) {
 			s.psClu = append(s.psClu, r.probes...)
 			s.psOff = append(s.psOff, int32(len(s.psClu)))
 		}
-		res, err = s.eng.SearchBatchProbed(qs, core.ProbeSet{Offsets: s.psOff, Clusters: s.psClu}, false)
+		res, err = s.probed.SearchBatchProbed(qs, engine.ProbeSet{Offsets: s.psOff, Clusters: s.psClu}, false)
 	} else {
 		res, err = s.eng.SearchBatch(qs)
 	}

@@ -1,0 +1,72 @@
+// Package testutil holds the corpus/index fixture constructor shared by the
+// core, serve, cluster and graph test suites. Each suite used to carry its
+// own copy of the same synthesize-then-build dance with slightly different
+// constants; the constants are now data (FixtureSpec) and the dance lives
+// here once. The package deliberately imports only leaf packages
+// (dataset/ivf/pq) so that core's in-package tests — which cannot import
+// anything that imports core — can use it too.
+package testutil
+
+import (
+	"testing"
+
+	"drimann/internal/dataset"
+	"drimann/internal/ivf"
+	"drimann/internal/pq"
+)
+
+// FixtureSpec names the degrees of freedom the suites actually vary. Zero
+// values fall back to the generator/builder defaults (see dataset.SynthConfig
+// and ivf.BuildConfig); suites keep their historical constants by spelling
+// them out, so fixture contents are bit-identical to the pre-dedup copies.
+type FixtureSpec struct {
+	Name    string
+	N       int
+	D       int
+	Queries int
+
+	// Corpus shape.
+	NumClusters int
+	Noise       float64
+	ZipfS       float64
+	QuerySkew   float64
+	Seed        int64
+
+	// Index shape. NList == 0 skips the index build entirely (corpus-only
+	// fixtures, e.g. the graph backend's).
+	NList       int
+	M, CB       int
+	KMeansIters int
+	TrainSample int
+	BuildSeed   int64
+}
+
+// Synth generates the spec's synthetic corpus (no index).
+func Synth(spec FixtureSpec) *dataset.Synth {
+	return dataset.Generate(dataset.SynthConfig{
+		Name: spec.Name, N: spec.N, D: spec.D, NumQueries: spec.Queries,
+		NumClusters: spec.NumClusters, Noise: spec.Noise,
+		ZipfS: spec.ZipfS, QuerySkew: spec.QuerySkew, Seed: spec.Seed,
+	})
+}
+
+// Fixture generates the spec's corpus and builds its IVF-PQ index, failing
+// the test on build errors. With NList == 0 the index is nil.
+func Fixture(t testing.TB, spec FixtureSpec) (*ivf.Index, *dataset.Synth) {
+	t.Helper()
+	s := Synth(spec)
+	if spec.NList == 0 {
+		return nil, s
+	}
+	ix, err := ivf.Build(s.Base, ivf.BuildConfig{
+		NList:       spec.NList,
+		PQ:          pq.Config{M: spec.M, CB: spec.CB},
+		KMeansIters: spec.KMeansIters,
+		TrainSample: spec.TrainSample,
+		Seed:        spec.BuildSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, s
+}
